@@ -1,0 +1,22 @@
+//! Experiment harness for the Re-Chord reproduction.
+//!
+//! The paper's §5 methodology: for each network size, run 30 independent
+//! random graphs and report the mean of each metric. This crate provides
+//! the pieces every experiment binary shares: a deterministic parallel
+//! trial runner ([`parallel_trials`]), summary statistics ([`Stats`]),
+//! growth-shape fits ([`fit`]) to check the *shape* claims (linear,
+//! `n log n`, `n log² n`), and aligned-table / CSV emission.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fit;
+mod plot;
+mod stats;
+mod table;
+mod trials;
+
+pub use plot::{AsciiChart, Series};
+pub use stats::Stats;
+pub use table::{write_csv, Table};
+pub use trials::{parallel_trials, seed_range};

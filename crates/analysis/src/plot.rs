@@ -1,0 +1,176 @@
+//! Terminal plotting: render experiment series as ASCII charts, so the
+//! figure binaries can *show* the paper's figures, not just tabulate them.
+
+/// An xy-series with a label.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points, in any order (plotting sorts internally by x).
+    pub points: Vec<(f64, f64)>,
+    /// Glyph used for this series.
+    pub glyph: char,
+}
+
+impl Series {
+    /// Builds a series from parallel x/y slices.
+    pub fn new(label: impl Into<String>, glyph: char, xs: &[f64], ys: &[f64]) -> Self {
+        Series {
+            label: label.into(),
+            glyph,
+            points: xs.iter().copied().zip(ys.iter().copied()).collect(),
+        }
+    }
+}
+
+/// An ASCII scatter/line chart of one or more series on shared axes.
+#[derive(Clone, Debug)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+    title: String,
+}
+
+impl AsciiChart {
+    /// A chart with the given drawing area (columns × rows of glyphs).
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        AsciiChart {
+            width: width.clamp(16, 200),
+            height: height.clamp(6, 60),
+            series: Vec::new(),
+            title: title.into(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Renders the chart. Returns an empty string if no finite points exist.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if pts.is_empty() {
+            return String::new();
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, y) in &pts {
+            x_min = x_min.min(*x);
+            x_max = x_max.max(*x);
+            y_min = y_min.min(*y);
+            y_max = y_max.max(*y);
+        }
+        if (x_max - x_min).abs() < f64::EPSILON {
+            x_max = x_min + 1.0;
+        }
+        // anchor the y-axis at zero for magnitude series, like the paper's plots
+        if y_min > 0.0 {
+            y_min = 0.0;
+        }
+        if (y_max - y_min).abs() < f64::EPSILON {
+            y_max = y_min + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy.min(self.height - 1);
+                let col = cx.min(self.width - 1);
+                grid[row][col] = s.glyph;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        let y_label_w = 10usize;
+        for (r, row) in grid.iter().enumerate() {
+            let frac = 1.0 - r as f64 / (self.height - 1) as f64;
+            let y_val = y_min + frac * (y_max - y_min);
+            let label = if r == 0 || r == self.height - 1 || r == self.height / 2 {
+                format!("{y_val:>9.1}")
+            } else {
+                " ".repeat(9)
+            };
+            out.push_str(&format!("{label} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(y_label_w));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{}{:<12.1}{:>width$.1}\n",
+            " ".repeat(y_label_w + 1),
+            x_min,
+            x_max,
+            width = self.width.saturating_sub(12)
+        ));
+        for s in &self.series {
+            out.push_str(&format!("{}  '{}' = {}\n", " ".repeat(y_label_w), s.glyph, s.label));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_within_bounds() {
+        let xs = [0.0, 50.0, 100.0];
+        let ys = [0.0, 25.0, 100.0];
+        let chart = AsciiChart::new("t", 40, 10).series(Series::new("s", '*', &xs, &ys));
+        let s = chart.render();
+        assert!(s.contains('*'));
+        assert!(s.contains("t\n"));
+        assert!(s.contains("'*' = s"));
+        // ~height+legend lines
+        assert!(s.lines().count() >= 12);
+    }
+
+    #[test]
+    fn empty_series_renders_empty() {
+        let chart = AsciiChart::new("e", 40, 10);
+        assert!(chart.render().is_empty());
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let chart =
+            AsciiChart::new("p", 20, 8).series(Series::new("one", 'o', &[5.0], &[7.0]));
+        let s = chart.render();
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn two_series_share_axes() {
+        let xs = [1.0, 2.0, 3.0];
+        let a = Series::new("a", 'a', &xs, &[1.0, 2.0, 3.0]);
+        let b = Series::new("b", 'b', &xs, &[3.0, 2.0, 1.0]);
+        let s = AsciiChart::new("ab", 30, 9).series(a).series(b).render();
+        assert!(s.contains('a') && s.contains('b'));
+    }
+
+    #[test]
+    fn non_finite_points_ignored() {
+        let s = AsciiChart::new("nan", 20, 8)
+            .series(Series::new("x", 'x', &[f64::NAN, 1.0], &[1.0, 2.0]))
+            .render();
+        assert!(s.contains('x'));
+    }
+}

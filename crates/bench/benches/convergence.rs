@@ -1,0 +1,50 @@
+//! End-to-end convergence cost: wall time to self-stabilize a random weakly
+//! connected network of each size (the implementation-level counterpart of
+//! Figure 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rechord_core::network::ReChordNetwork;
+use rechord_topology::TopologyKind;
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence_to_stable");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let topo = TopologyKind::Random.generate(n, 0xbe9c);
+                    ReChordNetwork::from_topology(&topo, 1)
+                },
+                |mut net| {
+                    let report = net.run_until_stable(200_000);
+                    assert!(report.converged);
+                    report.rounds
+                },
+            )
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("convergence_adversarial_n32");
+    group.sample_size(10);
+    for kind in [TopologyKind::RandomLine, TopologyKind::Clique, TopologyKind::DoubleRingBridge] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
+            b.iter_with_setup(
+                || {
+                    let topo = kind.generate(32, 0xbe9c);
+                    ReChordNetwork::from_topology(&topo, 1)
+                },
+                |mut net| {
+                    let report = net.run_until_stable(200_000);
+                    assert!(report.converged);
+                    report.rounds
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

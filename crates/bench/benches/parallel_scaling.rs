@@ -1,0 +1,48 @@
+//! Engine parallelism ablation: wall time of one round as the per-round
+//! thread count grows. Results are bit-identical across thread counts (see
+//! the determinism property tests); only the wall clock changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rechord_core::network::ReChordNetwork;
+use rechord_topology::TopologyKind;
+
+fn bench_parallel(c: &mut Criterion) {
+    let n = 384usize;
+    let mut group = c.benchmark_group("round_thread_scaling");
+    group.throughput(Throughput::Elements(n as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter_with_setup(
+                || {
+                    let topo = TopologyKind::Random.generate(n, 99);
+                    let mut net = ReChordNetwork::from_topology(&topo, threads);
+                    // a few rounds so every peer simulates virtual nodes and
+                    // the per-round work is representative
+                    net.engine_mut().run_rounds(3);
+                    net
+                },
+                |mut net| net.round(),
+            )
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("trials_thread_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let seeds = rechord_analysis::seed_range(0, 8);
+                rechord_analysis::parallel_trials(&seeds, threads, |seed| {
+                    let topo = TopologyKind::Random.generate(12, seed);
+                    let mut net = ReChordNetwork::from_topology(&topo, 1);
+                    net.run_until_stable(100_000).rounds
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Per-round cost of the protocol: one synchronous round on (a) a chaotic
+//! early state and (b) the stable steady state (where the in-flight
+//! ring/connection streams dominate), plus the oracle computation used by
+//! the stability probes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rechord_core::{network::ReChordNetwork, oracle};
+use rechord_topology::{InitialTopology, TopologyKind};
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_round");
+    for n in [32usize, 105] {
+        // chaotic: right after loading the random initial state
+        group.bench_with_input(BenchmarkId::new("chaotic", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let topo = TopologyKind::Random.generate(n, 7);
+                    let mut net = ReChordNetwork::from_topology(&topo, 1);
+                    net.round(); // one warm-up round so virtuals exist
+                    net
+                },
+                |mut net| net.round(),
+            )
+        });
+        // steady: at the stable fixpoint
+        group.bench_with_input(BenchmarkId::new("steady", n), &n, |b, &n| {
+            let (net, _) = {
+                let topo = TopologyKind::Random.generate(n, 7);
+                let mut net = ReChordNetwork::from_topology(&topo, 1);
+                let report = net.run_until_stable(200_000);
+                (net, report)
+            };
+            b.iter_with_setup(
+                || net_clone(&net),
+                |mut net| net.round(),
+            )
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("oracle");
+    for n in [105usize, 512] {
+        group.bench_with_input(BenchmarkId::new("desired_unmarked", n), &n, |b, &n| {
+            let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(3);
+            let ids = InitialTopology::random_ids(n, &mut rng);
+            b.iter(|| oracle::desired_unmarked(std::hint::black_box(&ids)))
+        });
+        group.bench_with_input(BenchmarkId::new("chord_edges", n), &n, |b, &n| {
+            let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(3);
+            let ids = InitialTopology::random_ids(n, &mut rng);
+            b.iter(|| oracle::chord_edges(std::hint::black_box(&ids)))
+        });
+    }
+    group.finish();
+}
+
+/// Rebuilds an equivalent network (Engine isn't Clone; state is).
+fn net_clone(net: &ReChordNetwork) -> ReChordNetwork {
+    let ids = net.real_ids();
+    let topo = InitialTopology::new(ids.clone(), vec![]);
+    let mut fresh = ReChordNetwork::from_topology(&topo, 1);
+    for id in ids {
+        let st = net.engine().state(id).expect("live peer").clone();
+        *fresh.engine_mut().state_mut(id).expect("live peer") = st;
+    }
+    fresh
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

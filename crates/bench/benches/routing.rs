@@ -1,0 +1,59 @@
+//! Application-layer cost on the stable overlay: greedy lookups and DHT
+//! put/get (Fact 2.1's "faithfully emulate any applications on top of
+//! Chord").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rechord_core::network::ReChordNetwork;
+use rechord_id::{IdSpace, Ident};
+use rechord_routing::{route, KvStore, RoutingTable};
+
+fn stable_table(n: usize) -> RoutingTable {
+    let (net, report) = ReChordNetwork::bootstrap_stable(n, 0xabcd, 1, 200_000);
+    assert!(report.converged);
+    RoutingTable::from_network(&net)
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_route");
+    for n in [16usize, 64, 105] {
+        let table = stable_table(n);
+        let src = table.peers()[0];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let r = route(&table, src, Ident::from_raw(k));
+                assert!(r.success);
+                r.hops()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dht");
+    let table = stable_table(64);
+    let via = table.peers()[0];
+    group.bench_function("put", |b| {
+        let mut kv = KvStore::new(table.clone(), IdSpace::new(1));
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            kv.put(via, k, "value").expect("routed")
+        })
+    });
+    group.bench_function("get_hit", |b| {
+        let mut kv = KvStore::new(table.clone(), IdSpace::new(1));
+        for k in 0..256u64 {
+            kv.put(via, k, "value").expect("routed");
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 256;
+            kv.get(via, k).expect("routed")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

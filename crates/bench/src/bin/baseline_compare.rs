@@ -1,0 +1,69 @@
+//! **E10 (motivation)** — classic Chord is not self-stabilizing; Re-Chord
+//! is. Both protocols face the canonical loopy state (two interleaved
+//! successor cycles, weakly connected by one dormant bridge) and random
+//! weakly connected states.
+
+use rechord_analysis::{parallel_trials, seed_range, Stats, Table};
+use rechord_bench::{harness_threads, trials_per_size, MAX_ROUNDS};
+use rechord_chord::ChordNetwork;
+use rechord_core::network::ReChordNetwork;
+use rechord_id::Ident;
+use rechord_topology::TopologyKind;
+
+fn main() {
+    let trials = trials_per_size().min(10);
+    let threads = harness_threads();
+    let sizes = [8usize, 16, 32, 64];
+    println!("Baseline comparison: classic Chord vs Re-Chord on adversarial states ({trials} trials/size)\n");
+
+    let mut table = Table::new(&[
+        "n",
+        "chord_rings_after",
+        "chord_lookup_ok",
+        "rechord_rounds",
+        "rechord_one_overlay",
+    ]);
+    for &n in &sizes {
+        let seeds = seed_range(0xba5e + n as u64 * 211, trials);
+        let results = parallel_trials(&seeds, threads, |seed| {
+            // identical identifier sets for both systems
+            let topo = TopologyKind::DoubleRingBridge.generate(n, seed);
+
+            // classic Chord from the established loopy pointer state
+            let mut chord = ChordNetwork::loopy_double_ring(&topo.ids, 1);
+            chord.run_until_stable(MAX_ROUNDS);
+            let rings = chord.ring_count();
+            let keys: Vec<Ident> =
+                (0..32u64).map(|k| Ident::from_raw(k.wrapping_mul(0x0809_7a5b_3c2d_1e0f))).collect();
+            let lookup_ok = chord.lookup_success_rate(&keys);
+
+            // Re-Chord from the equivalent knowledge graph
+            let mut rechord = ReChordNetwork::from_topology(&topo, 1);
+            let report = rechord.run_until_stable(MAX_ROUNDS);
+            assert!(report.converged);
+            let audit = rechord.audit();
+            let healthy = audit.missing_unmarked.is_empty()
+                && audit.projection_strongly_connected
+                && audit.weakly_connected;
+
+            (rings, lookup_ok, report.rounds_to_stable() as usize, healthy)
+        });
+        let rings = Stats::from_counts(results.iter().map(|r| r.0));
+        let lookups = Stats::from_slice(&results.iter().map(|r| r.1).collect::<Vec<_>>());
+        let rounds = Stats::from_counts(results.iter().map(|r| r.2));
+        let all_healthy = results.iter().all(|r| r.3);
+        table.row(&[
+            n.to_string(),
+            format!("{:.1}", rings.mean),
+            format!("{:.3}", lookups.mean),
+            format!("{:.1}", rounds.mean),
+            all_healthy.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\nclassic Chord quiesces with >1 successor ring and degraded lookups; Re-Chord always merges to one overlay (rechord_one_overlay = audit passed).");
+
+    let path = rechord_bench::results_dir().join("baseline_compare.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

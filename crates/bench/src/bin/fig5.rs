@@ -1,0 +1,85 @@
+//! **Figure 5** — edges and nodes at the stable state vs. number of real
+//! nodes: the "normal edges", "connection edges" and "virtual nodes" series,
+//! means over 30 random weakly connected graphs per size (paper §5).
+//!
+//! Expected shape (paper): virtual nodes grow slightly super-linearly
+//! (Θ(n log n)); normal edges a bit faster than linear; connection edges
+//! fastest (≈ c·n·log²n), overtaking normal edges as n grows.
+
+use rechord_analysis::{fit, parallel_trials, seed_range, AsciiChart, Series, Stats, Table};
+use rechord_bench::{harness_threads, stabilized_random, trials_per_size, PAPER_SIZES};
+
+fn main() {
+    let trials = trials_per_size();
+    let threads = harness_threads();
+    println!("Figure 5: stable-state edges and nodes ({trials} trials/size, {threads} threads)\n");
+
+    let mut table = Table::new(&[
+        "n", "normal_edges", "conn_edges", "virtual_nodes", "normal_sd", "conn_sd", "virt_sd",
+    ]);
+    let mut ns = Vec::new();
+    let (mut normal_means, mut conn_means, mut virt_means) = (Vec::new(), Vec::new(), Vec::new());
+
+    for &n in &PAPER_SIZES {
+        let seeds = seed_range(0x5000_0000 + n as u64 * 1000, trials);
+        let results = parallel_trials(&seeds, threads, |seed| {
+            let (net, _) = stabilized_random(n, seed);
+            let m = net.metrics();
+            (m.normal_edges(), m.connection_edges(), m.virtual_nodes)
+        });
+        let normal = Stats::from_counts(results.iter().map(|r| r.0));
+        let conn = Stats::from_counts(results.iter().map(|r| r.1));
+        let virt = Stats::from_counts(results.iter().map(|r| r.2));
+        table.row(&[
+            n.to_string(),
+            format!("{:.1}", normal.mean),
+            format!("{:.1}", conn.mean),
+            format!("{:.1}", virt.mean),
+            format!("{:.1}", normal.std_dev),
+            format!("{:.1}", conn.std_dev),
+            format!("{:.1}", virt.std_dev),
+        ]);
+        ns.push(n as f64);
+        normal_means.push(normal.mean);
+        conn_means.push(conn.mean);
+        virt_means.push(virt.mean);
+    }
+
+    table.print();
+    println!();
+    for (label, ys) in [
+        ("normal edges", &normal_means),
+        ("connection edges", &conn_means),
+        ("virtual nodes", &virt_means),
+    ] {
+        let shape = fit::classify_growth(&ns, ys);
+        println!(
+            "shape of {label:17}: best fit {:8} (r² = {:.4}); n·log²n r² = {:.4}",
+            shape.best(),
+            shape.ranking[0].1,
+            shape.r2_of("n·log²n").unwrap_or(0.0)
+        );
+    }
+    let crossover = ns
+        .iter()
+        .zip(normal_means.iter().zip(&conn_means))
+        .find(|(_, (nm, cm))| cm > nm)
+        .map(|(n, _)| *n);
+    match crossover {
+        Some(n) => println!("\nconnection edges overtake normal edges at n ≈ {n} (paper: 'increase faster ... as the number of real nodes gets higher')"),
+        None => println!("\nno crossover observed in this sweep"),
+    }
+
+    println!(
+        "\n{}",
+        AsciiChart::new("Figure 5: edges and nodes vs real nodes", 72, 18)
+            .series(Series::new("normal edges", '#', &ns, &normal_means))
+            .series(Series::new("connection edges", '.', &ns, &conn_means))
+            .series(Series::new("virtual nodes", 'v', &ns, &virt_means))
+            .render()
+    );
+
+    let path = rechord_bench::results_dir().join("fig5.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,88 @@
+//! **Figure 6** — number of steps to reach the stable state and the
+//! "almost stable" state vs. number of real nodes (means over 30 random
+//! graphs per size, paper §5).
+//!
+//! Expected shape (paper): small absolute counts (tens), growing sublinearly
+//! ("seem to increase sublinear, or at most linear" — far below the
+//! O(n log n) upper bound of Theorem 1.1), with the almost-stable milestone
+//! reached well before the stable state.
+
+use rechord_analysis::{fit, parallel_trials, seed_range, AsciiChart, Series, Stats, Table};
+use rechord_bench::{harness_threads, trials_per_size, MAX_ROUNDS, PAPER_SIZES};
+use rechord_core::network::ReChordNetwork;
+use rechord_topology::TopologyKind;
+
+fn main() {
+    let trials = trials_per_size();
+    let threads = harness_threads();
+    println!("Figure 6: rounds to stable / almost-stable ({trials} trials/size, {threads} threads)\n");
+
+    let mut table = Table::new(&["n", "stable", "almost", "stable_sd", "almost_sd", "stable_max"]);
+    let mut ns = Vec::new();
+    let (mut stable_means, mut almost_means) = (Vec::new(), Vec::new());
+
+    for &n in &PAPER_SIZES {
+        let seeds = seed_range(0x6000_0000 + n as u64 * 1000, trials);
+        let results = parallel_trials(&seeds, threads, |seed| {
+            let topo = TopologyKind::Random.generate(n, seed);
+            let mut net = ReChordNetwork::from_topology(&topo, 1);
+            let (report, almost) = net.run_until_stable_tracking_almost(MAX_ROUNDS);
+            assert!(report.converged, "n={n} seed={seed}");
+            (report.rounds_to_stable(), almost.expect("stable ⇒ almost-stable observed"))
+        });
+        let stable = Stats::from_counts(results.iter().map(|r| r.0 as usize));
+        let almost = Stats::from_counts(results.iter().map(|r| r.1 as usize));
+        table.row(&[
+            n.to_string(),
+            format!("{:.1}", stable.mean),
+            format!("{:.1}", almost.mean),
+            format!("{:.1}", stable.std_dev),
+            format!("{:.1}", almost.std_dev),
+            format!("{:.0}", stable.max),
+        ]);
+        ns.push(n as f64);
+        stable_means.push(stable.mean);
+        almost_means.push(almost.mean);
+    }
+
+    table.print();
+    println!();
+    for (label, ys) in [("rounds to stable", &stable_means), ("rounds to almost", &almost_means)] {
+        let shape = fit::classify_growth(&ns, ys);
+        let lin = fit::linear(&ns, ys);
+        println!(
+            "shape of {label:17}: best fit {:8} (r² = {:.4}); linear slope {:.3}",
+            shape.best(),
+            shape.ranking[0].1,
+            lin.slope
+        );
+    }
+    // the theorem's bound, for contrast
+    let bound_ratio: Vec<f64> = ns
+        .iter()
+        .zip(&stable_means)
+        .map(|(n, s)| s / (n * n.log2()))
+        .collect();
+    println!(
+        "\nratio rounds/(n·log n): first {:.3} → last {:.3} (decreasing ⇒ comfortably below the Theorem 1.1 bound)",
+        bound_ratio.first().unwrap(),
+        bound_ratio.last().unwrap()
+    );
+    let earlier = ns
+        .iter()
+        .zip(stable_means.iter().zip(&almost_means))
+        .all(|(_, (s, a))| a <= s);
+    println!("almost-stable precedes stable in every size: {earlier}");
+
+    println!(
+        "\n{}",
+        AsciiChart::new("Figure 6: rounds to stable / almost-stable vs real nodes", 72, 14)
+            .series(Series::new("rounds to stable", '#', &ns, &stable_means))
+            .series(Series::new("rounds to almost-stable", '.', &ns, &almost_means))
+            .render()
+    );
+
+    let path = rechord_bench::results_dir().join("fig6.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

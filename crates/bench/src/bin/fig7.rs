@@ -1,0 +1,54 @@
+//! **Figure 7** — total number of edges vs. total number of nodes in the
+//! final (stable) graph: one scatter point per run, up to ≈1000 total nodes
+//! (paper §5).
+//!
+//! Expected shape (paper): the total edge count grows at a rate comparable
+//! to the total node count (near-linear scatter with a log-factor drift
+//! from the connection edges).
+
+use rechord_analysis::{fit, parallel_trials, seed_range, AsciiChart, Series, Table};
+use rechord_bench::{harness_threads, stabilized_random, trials_per_size, PAPER_SIZES};
+
+fn main() {
+    let trials = trials_per_size().min(10); // scatter needs fewer repeats
+    let threads = harness_threads();
+    println!("Figure 7: total edges vs total nodes in the final graph ({trials} trials/size)\n");
+
+    let mut table = Table::new(&["n_real", "total_nodes", "total_edges"]);
+    let (mut xs, mut ys) = (Vec::new(), Vec::new());
+    for &n in &PAPER_SIZES {
+        let seeds = seed_range(0x7000_0000 + n as u64 * 1000, trials);
+        let points = parallel_trials(&seeds, threads, |seed| {
+            let (net, _) = stabilized_random(n, seed);
+            let m = net.metrics();
+            (m.total_nodes(), m.total_edges())
+        });
+        for (nodes, edges) in points {
+            table.row(&[n.to_string(), nodes.to_string(), edges.to_string()]);
+            xs.push(nodes as f64);
+            ys.push(edges as f64);
+        }
+    }
+
+    table.print();
+    let lin = fit::linear(&xs, &ys);
+    println!(
+        "\nedges ≈ {:.2} × nodes + {:.1}   (r² = {:.4}; paper: edges grow at a rate comparable to nodes)",
+        lin.slope, lin.intercept, lin.r_squared
+    );
+    println!(
+        "max total nodes observed: {:.0} (paper's axis reaches ~1000)",
+        xs.iter().copied().fold(0.0f64, f64::max)
+    );
+
+    println!(
+        "\n{}",
+        AsciiChart::new("Figure 7: total edges vs total nodes (scatter)", 72, 16)
+            .series(Series::new("one run", '*', &xs, &ys))
+            .render()
+    );
+
+    let path = rechord_bench::results_dir().join("fig7.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,108 @@
+//! **Theorems 4.1 / 4.2** — re-stabilization cost of isolated churn:
+//! a join into a stable network re-integrates in `O(log² n)` rounds; a
+//! graceful leave or crash in `O(log n)` rounds.
+//!
+//! The theorems' criterion is *structural integration* — "every node has
+//! stable next and next real neighbors and all virtual nodes are created" —
+//! which is exactly the almost-stable milestone (`integ_*` columns). The
+//! `fix_*` columns additionally wait for the global fixpoint, i.e. for the
+//! in-flight ring/connection streams to settle into their new steady
+//! pattern (the paper likewise notes leftover "unnecessary edges ... will
+//! be eliminated after at most O(n log n) rounds" beyond integration).
+
+use rechord_analysis::{fit, parallel_trials, seed_range, Stats, Table};
+use rechord_bench::{harness_threads, stabilized_random, trials_per_size, MAX_ROUNDS, PAPER_SIZES};
+use rechord_core::network::ReChordNetwork;
+use rechord_id::hash_address;
+
+/// Applies `event` to a fresh stable network and measures (integration
+/// rounds, fixpoint rounds).
+fn churn_cost(
+    n: usize,
+    seed: u64,
+    event: impl FnOnce(&mut ReChordNetwork),
+) -> (usize, usize) {
+    let (mut net, _) = stabilized_random(n, seed);
+    event(&mut net);
+    let integ = net.run_until_almost_stable(MAX_ROUNDS).expect("must re-integrate") as usize;
+    let fix = net.run_until_stable(MAX_ROUNDS);
+    assert!(fix.converged);
+    (integ, integ + fix.rounds_to_stable() as usize)
+}
+
+fn main() {
+    let trials = trials_per_size();
+    let threads = harness_threads();
+    println!("Theorems 4.1/4.2: isolated join / leave / crash ({trials} trials/size)\n");
+
+    let mut table = Table::new(&[
+        "n", "integ_join", "integ_leave", "integ_crash", "fix_join", "fix_leave", "fix_crash",
+        "log2n", "log2n^2",
+    ]);
+    let mut ns = Vec::new();
+    let (mut join_integ, mut leave_integ, mut crash_integ) = (Vec::new(), Vec::new(), Vec::new());
+
+    for &n in &PAPER_SIZES {
+        let seeds = seed_range(0x4a00_0000 + n as u64 * 1000, trials);
+        let results = parallel_trials(&seeds, threads, |seed| {
+            let join = churn_cost(n, seed, |net| {
+                let ids = net.real_ids();
+                let contact = ids[(seed as usize) % ids.len()];
+                let joiner = hash_address(seed ^ 0xfeed_beef, 0x1234);
+                assert!(net.join_via(joiner, contact));
+            });
+            let leave = churn_cost(n, seed ^ 0x55aa, |net| {
+                let ids = net.real_ids();
+                assert!(net.graceful_leave(ids[(seed as usize / 7) % ids.len()]));
+            });
+            let crash = churn_cost(n, seed ^ 0x33cc, |net| {
+                let ids = net.real_ids();
+                assert!(net.crash(ids[(seed as usize / 3) % ids.len()]));
+            });
+            (join, leave, crash)
+        });
+        let ji = Stats::from_counts(results.iter().map(|r| r.0 .0));
+        let li = Stats::from_counts(results.iter().map(|r| r.1 .0));
+        let ci = Stats::from_counts(results.iter().map(|r| r.2 .0));
+        let jf = Stats::from_counts(results.iter().map(|r| r.0 .1));
+        let lf = Stats::from_counts(results.iter().map(|r| r.1 .1));
+        let cf = Stats::from_counts(results.iter().map(|r| r.2 .1));
+        let l2 = (n as f64).log2();
+        table.row(&[
+            n.to_string(),
+            format!("{:.1}", ji.mean),
+            format!("{:.1}", li.mean),
+            format!("{:.1}", ci.mean),
+            format!("{:.1}", jf.mean),
+            format!("{:.1}", lf.mean),
+            format!("{:.1}", cf.mean),
+            format!("{:.2}", l2),
+            format!("{:.1}", l2 * l2),
+        ]);
+        ns.push(n as f64);
+        join_integ.push(ji.mean);
+        leave_integ.push(li.mean);
+        crash_integ.push(ci.mean);
+    }
+
+    table.print();
+    println!();
+    for (label, ys, bound) in [
+        ("join  integration", &join_integ, "log²n"),
+        ("leave integration", &leave_integ, "log n"),
+        ("crash integration", &crash_integ, "log n"),
+    ] {
+        let shape = fit::classify_growth(&ns, ys);
+        println!(
+            "shape of {label}: best fit {:8} (r² = {:.4}); theorem bound O({bound}), r²({bound}) = {:.4}",
+            shape.best(),
+            shape.ranking[0].1,
+            shape.r2_of(bound).unwrap_or(0.0)
+        );
+    }
+    println!("\n(n and polylog(n) are weakly separable on an 8-point sweep up to n=105; the load-bearing observation is the absolute scale — integration takes a handful of rounds, far below the cold-start figures of fig6.)");
+
+    let path = rechord_bench::results_dir().join("join_leave.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

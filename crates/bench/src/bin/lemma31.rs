@@ -1,0 +1,56 @@
+//! **Lemma 3.1** — the number of virtual nodes between two consecutive real
+//! nodes is `O(log n)` w.h.p., and the total node count is `Θ(n log n)`.
+
+use rechord_analysis::{fit, parallel_trials, seed_range, Stats, Table};
+use rechord_bench::{harness_threads, stabilized_random, trials_per_size, PAPER_SIZES};
+
+fn main() {
+    let trials = trials_per_size();
+    let threads = harness_threads();
+    println!("Lemma 3.1: virtual nodes per real gap and total node count ({trials} trials/size)\n");
+
+    let mut table = Table::new(&["n", "max_per_gap", "mean_per_gap", "total_nodes", "log2(n)"]);
+    let mut ns = Vec::new();
+    let (mut max_gaps, mut totals) = (Vec::new(), Vec::new());
+    for &n in &PAPER_SIZES {
+        let seeds = seed_range(0x1e31 + n as u64 * 131, trials);
+        let results = parallel_trials(&seeds, threads, |seed| {
+            let (net, _) = stabilized_random(n, seed);
+            let m = net.metrics();
+            (m.max_virtuals_per_gap, m.mean_virtuals_per_gap, m.total_nodes())
+        });
+        let max_gap = Stats::from_counts(results.iter().map(|r| r.0));
+        let mean_gap = Stats::from_slice(&results.iter().map(|r| r.1).collect::<Vec<_>>());
+        let total = Stats::from_counts(results.iter().map(|r| r.2));
+        table.row(&[
+            n.to_string(),
+            format!("{:.1}", max_gap.mean),
+            format!("{:.2}", mean_gap.mean),
+            format!("{:.1}", total.mean),
+            format!("{:.2}", (n as f64).log2()),
+        ]);
+        ns.push(n as f64);
+        max_gaps.push(max_gap.mean);
+        totals.push(total.mean);
+    }
+    table.print();
+
+    let gap_shape = fit::classify_growth(&ns, &max_gaps);
+    let total_shape = fit::classify_growth(&ns, &totals);
+    println!(
+        "\nmax virtuals per gap: best fit {} (r² = {:.4}) — lemma says O(log n), r²(log n) = {:.4}",
+        gap_shape.best(),
+        gap_shape.ranking[0].1,
+        gap_shape.r2_of("log n").unwrap_or(0.0)
+    );
+    println!(
+        "total nodes:          best fit {} (r² = {:.4}) — lemma says Θ(n log n), r²(n·log n) = {:.4}",
+        total_shape.best(),
+        total_shape.ranking[0].1,
+        total_shape.r2_of("n·log n").unwrap_or(0.0)
+    );
+
+    let path = rechord_bench::results_dir().join("lemma31.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,65 @@
+//! Shared scaffolding for the experiment binaries (one binary per figure /
+//! theorem of the paper; see DESIGN.md §5 for the experiment index).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rechord_core::network::ReChordNetwork;
+use rechord_sim::FixpointReport;
+use rechord_topology::TopologyKind;
+
+/// The paper's §5 sweep: "various numbers of (real) nodes: 5, 15, 25, 35,
+/// 45, 65, 85, 105".
+pub const PAPER_SIZES: [usize; 8] = [5, 15, 25, 35, 45, 65, 85, 105];
+
+/// The paper's trial count per size ("30 different graphs"). Override with
+/// `RECHORD_TRIALS` for quick runs.
+pub fn trials_per_size() -> usize {
+    std::env::var("RECHORD_TRIALS").ok().and_then(|s| s.parse().ok()).unwrap_or(30)
+}
+
+/// Worker threads for trial parallelism. Override with `RECHORD_THREADS`.
+pub fn harness_threads() -> usize {
+    std::env::var("RECHORD_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+}
+
+/// Round budget safety cap for stabilization runs.
+pub const MAX_ROUNDS: u64 = 200_000;
+
+/// Builds the paper's random weakly connected initial state and runs it to
+/// the stable fixpoint, returning the network and the report. Panics if the
+/// budget is exhausted (a convergence bug, not a tuning matter).
+pub fn stabilized_random(n: usize, seed: u64) -> (ReChordNetwork, FixpointReport) {
+    let topo = TopologyKind::Random.generate(n, seed);
+    let mut net = ReChordNetwork::from_topology(&topo, 1);
+    let report = net.run_until_stable(MAX_ROUNDS);
+    assert!(report.converged, "n={n} seed={seed} did not stabilize in {MAX_ROUNDS} rounds");
+    (net, report)
+}
+
+/// Where experiment CSVs are written.
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(
+        std::env::var("RECHORD_RESULTS_DIR").unwrap_or_else(|_| "results".into()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matches_paper() {
+        assert_eq!(PAPER_SIZES, [5, 15, 25, 35, 45, 65, 85, 105]);
+    }
+
+    #[test]
+    fn stabilized_random_converges() {
+        let (net, report) = stabilized_random(6, 1);
+        assert!(report.converged);
+        assert_eq!(net.len(), 6);
+    }
+}

@@ -1,0 +1,32 @@
+//! Classic Chord (Stoica, Morris, Karger, Kaashoek, Balakrishnan —
+//! SIGCOMM 2001), as the Re-Chord paper's baseline comparator.
+//!
+//! This is the standard maintenance protocol: every node keeps a successor
+//! (plus a successor list for fault tolerance), a predecessor, and a finger
+//! table, and periodically runs `stabilize` / `notify` / `fix_fingers`.
+//! Chord handles churn well — but it is **not self-stabilizing**: from an
+//! arbitrary weakly connected state it can converge to *loopy* states (e.g.
+//! two disjoint rings over interleaved identifiers) from which the
+//! stabilization routine never recovers, which is exactly the motivation of
+//! the Re-Chord paper. Experiment E10 (`baseline_compare`) demonstrates
+//! this: classic Chord quiesces into multiple rings while Re-Chord merges
+//! them.
+//!
+//! Modeling note: we run Chord on the same synchronous engine. RPCs that
+//! classic Chord performs synchronously (reading the successor's
+//! predecessor in `stabilize`, iterative lookups in `fix_fingers`/`join`)
+//! are resolved against the previous-round snapshot — a *one-round RPC*
+//! idealization that is strictly generous to the baseline: real Chord gets
+//! less information per round, so anything classic Chord fails at here it
+//! also fails at in reality.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod network;
+mod protocol;
+mod state;
+
+pub use network::ChordNetwork;
+pub use protocol::{ChordMsg, ChordProtocol};
+pub use state::{ChordState, SUCCESSOR_LIST_LEN};

@@ -1,0 +1,99 @@
+//! Per-node state of classic Chord.
+
+use rechord_id::Ident;
+use std::collections::BTreeSet;
+
+/// Successor-list length `r`. The original paper uses `r = Θ(log n)`; a
+/// small constant suffices at simulation scale.
+pub const SUCCESSOR_LIST_LEN: usize = 4;
+
+/// Classic Chord node state.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ChordState {
+    /// Immediate successor on the ring (`finger[1]` in the original paper).
+    pub successor: Option<Ident>,
+    /// Backup successors (fault tolerance).
+    pub successor_list: Vec<Ident>,
+    /// Predecessor pointer, set by `notify`.
+    pub predecessor: Option<Ident>,
+    /// Finger table: `fingers[i]` targets `me + 1/2^(i+1)`.
+    pub fingers: Vec<Option<Ident>>,
+    /// Bootstrap knowledge (initial contacts; consulted only while the
+    /// successor pointer is unset).
+    pub known: BTreeSet<Ident>,
+}
+
+/// Number of finger-table slots (identifier space is 64 bits).
+pub const FINGER_SLOTS: usize = 64;
+
+impl ChordState {
+    /// A node that initially knows `contacts`.
+    pub fn with_contacts(contacts: impl IntoIterator<Item = Ident>) -> Self {
+        ChordState {
+            successor: None,
+            successor_list: Vec::new(),
+            predecessor: None,
+            fingers: vec![None; FINGER_SLOTS],
+            known: contacts.into_iter().collect(),
+        }
+    }
+
+    /// All peers this node currently points at (used for reachability
+    /// analysis and crash cleanup).
+    pub fn all_pointers(&self) -> BTreeSet<Ident> {
+        let mut out: BTreeSet<Ident> = self.known.iter().copied().collect();
+        out.extend(self.successor);
+        out.extend(self.predecessor);
+        out.extend(self.successor_list.iter().copied());
+        out.extend(self.fingers.iter().flatten().copied());
+        out
+    }
+
+    /// Drops every pointer to `dead` (crash semantics).
+    pub fn purge(&mut self, dead: Ident) {
+        self.known.remove(&dead);
+        if self.successor == Some(dead) {
+            self.successor = None;
+        }
+        if self.predecessor == Some(dead) {
+            self.predecessor = None;
+        }
+        self.successor_list.retain(|&s| s != dead);
+        for f in self.fingers.iter_mut() {
+            if *f == Some(dead) {
+                *f = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointers_collect_everything() {
+        let a = Ident::from_raw(1);
+        let b = Ident::from_raw(2);
+        let c = Ident::from_raw(3);
+        let mut st = ChordState::with_contacts([a]);
+        st.successor = Some(b);
+        st.predecessor = Some(c);
+        st.fingers[5] = Some(a);
+        st.successor_list.push(c);
+        let p = st.all_pointers();
+        assert!(p.contains(&a) && p.contains(&b) && p.contains(&c));
+    }
+
+    #[test]
+    fn purge_clears_dead_peer() {
+        let dead = Ident::from_raw(9);
+        let mut st = ChordState::with_contacts([dead]);
+        st.successor = Some(dead);
+        st.predecessor = Some(dead);
+        st.successor_list.push(dead);
+        st.fingers[0] = Some(dead);
+        st.purge(dead);
+        assert!(st.all_pointers().is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Joins, graceful leaves, and crash failures (paper §4).
+
+use crate::network::ReChordNetwork;
+use crate::state::PeerState;
+use rechord_graph::NodeRef;
+use rechord_id::Ident;
+use rechord_sim::FixpointReport;
+use rechord_topology::{ChurnEvent, ChurnPlan};
+
+/// Outcome of one churn event followed by re-stabilization.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnOutcome {
+    /// The peer that joined or left.
+    pub peer: Ident,
+    /// Re-stabilization report.
+    pub report: FixpointReport,
+}
+
+impl ReChordNetwork {
+    /// A new peer `joiner` enters by learning about one existing peer
+    /// `contact` (paper §4.1: "a peer connects to one peer in the network",
+    /// i.e. it is connected to an arbitrary real node). Returns `false` if
+    /// the identifier is already taken or the contact does not exist.
+    pub fn join_via(&mut self, joiner: Ident, contact: Ident) -> bool {
+        if !self.engine().contains(contact) || self.engine().contains(joiner) {
+            return false;
+        }
+        self.engine_mut()
+            .insert_node(joiner, PeerState::with_contacts([NodeRef::real(contact)]))
+    }
+
+    /// A peer leaves gracefully (§4.2): before disappearing it introduces
+    /// its neighbors to one another (consecutive unmarked neighbors of each
+    /// of its nodes are cross-linked), then it and every reference to it
+    /// vanish.
+    pub fn graceful_leave(&mut self, leaver: Ident) -> bool {
+        let Some(state) = self.engine_mut().remove_node(leaver) else {
+            return false;
+        };
+        // Introductions: for each simulated node, its sorted unmarked
+        // neighbors are spliced pairwise (pred learns succ and vice versa).
+        let mut introductions: Vec<(NodeRef, NodeRef)> = Vec::new();
+        for vs in state.levels.values() {
+            let targets: Vec<NodeRef> =
+                vs.nu.iter().copied().filter(|t| t.owner != leaver).collect();
+            for pair in targets.windows(2) {
+                introductions.push((pair[0], pair[1]));
+                introductions.push((pair[1], pair[0]));
+            }
+        }
+        for (at, edge) in introductions {
+            if at.owner == edge.owner {
+                continue;
+            }
+            if let Some(st) = self.engine_mut().state_mut(at.owner) {
+                let lvl = if st.levels.contains_key(&at.level) {
+                    at.level
+                } else {
+                    st.deepest_level()
+                };
+                if let Some(vs) = st.level_mut(lvl) {
+                    vs.nu.insert(edge);
+                }
+            }
+        }
+        self.purge_references(leaver);
+        true
+    }
+
+    /// A peer crashes (§4.2): "the node, as well as its connections, fail"
+    /// — it vanishes without goodbye and every edge touching it disappears.
+    pub fn crash(&mut self, victim: Ident) -> bool {
+        if self.engine_mut().remove_node(victim).is_none() {
+            return false;
+        }
+        self.purge_references(victim);
+        true
+    }
+
+    /// Applies one churn event; peers affected are chosen deterministically
+    /// from `selector` (an index into the current peer list).
+    pub fn apply_event(
+        &mut self,
+        event: &ChurnEvent,
+        selector: usize,
+        id_seed: u64,
+    ) -> Option<Ident> {
+        let ids = self.real_ids();
+        if ids.is_empty() {
+            return None;
+        }
+        match event {
+            ChurnEvent::Join { address } => {
+                let joiner = rechord_id::hash_address(*address, id_seed);
+                let contact = ids[selector % ids.len()];
+                self.join_via(joiner, contact).then_some(joiner)
+            }
+            ChurnEvent::GracefulLeave => {
+                if ids.len() <= 1 {
+                    return None;
+                }
+                let leaver = ids[selector % ids.len()];
+                self.graceful_leave(leaver).then_some(leaver)
+            }
+            ChurnEvent::Crash => {
+                if ids.len() <= 1 {
+                    return None;
+                }
+                let victim = ids[selector % ids.len()];
+                self.crash(victim).then_some(victim)
+            }
+        }
+    }
+
+    /// Runs a whole churn plan, re-stabilizing after every event. Returns
+    /// one outcome per successfully applied event.
+    pub fn run_churn_plan(
+        &mut self,
+        plan: &ChurnPlan,
+        id_seed: u64,
+        max_rounds_per_event: u64,
+    ) -> Vec<ChurnOutcome> {
+        let mut outcomes = Vec::with_capacity(plan.events.len());
+        for (k, event) in plan.events.iter().enumerate() {
+            // deterministic but varying selector
+            let selector = k.wrapping_mul(0x9e37) ^ (id_seed as usize);
+            if let Some(peer) = self.apply_event(event, selector, id_seed.wrapping_add(k as u64)) {
+                let report = self.run_until_stable(max_rounds_per_event);
+                outcomes.push(ChurnOutcome { peer, report });
+            }
+        }
+        outcomes
+    }
+
+    fn purge_references(&mut self, dead: Ident) {
+        let survivors = self.real_ids();
+        for id in survivors {
+            if let Some(st) = self.engine_mut().state_mut(id) {
+                st.purge_peer(dead);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rechord_topology::TopologyKind;
+
+    fn stable_net(n: usize, seed: u64) -> ReChordNetwork {
+        let (net, report) = ReChordNetwork::bootstrap_stable(n, seed, 1, 10_000);
+        assert!(report.converged, "bootstrap must stabilize");
+        net
+    }
+
+    #[test]
+    fn join_restabilizes() {
+        let mut net = stable_net(8, 21);
+        let contact = net.real_ids()[3];
+        let joiner = Ident::from_raw(0x1234_5678_9abc_def0);
+        assert!(net.join_via(joiner, contact));
+        let report = net.run_until_stable(10_000);
+        assert!(report.converged, "join must re-stabilize");
+        assert!(net.real_ids().contains(&joiner));
+        let audit = net.audit();
+        assert!(audit.missing_unmarked.is_empty(), "{:?}", audit.missing_unmarked);
+    }
+
+    #[test]
+    fn duplicate_or_dangling_join_rejected() {
+        let mut net = stable_net(4, 22);
+        let ids = net.real_ids();
+        assert!(!net.join_via(ids[0], ids[1]), "existing id");
+        assert!(!net.join_via(Ident::from_raw(42), Ident::from_raw(43)), "unknown contact");
+    }
+
+    #[test]
+    fn crash_restabilizes_and_purges() {
+        let mut net = stable_net(8, 23);
+        let victim = net.real_ids()[2];
+        assert!(net.crash(victim));
+        // no surviving state may reference the victim
+        for id in net.real_ids() {
+            let st = net.engine().state(id).unwrap();
+            for vs in st.levels.values() {
+                assert!(vs.all_targets().all(|t| t.owner != victim));
+            }
+        }
+        let report = net.run_until_stable(10_000);
+        assert!(report.converged, "crash must re-stabilize");
+        assert!(!net.real_ids().contains(&victim));
+        assert!(net.audit().missing_unmarked.is_empty());
+    }
+
+    #[test]
+    fn graceful_leave_keeps_survivors_connected() {
+        let mut net = stable_net(8, 24);
+        let leaver = net.real_ids()[4];
+        assert!(net.graceful_leave(leaver));
+        let report = net.run_until_stable(10_000);
+        assert!(report.converged);
+        let audit = net.audit();
+        assert!(audit.weakly_connected);
+        assert!(audit.missing_unmarked.is_empty());
+    }
+
+    #[test]
+    fn churn_plan_runs_all_events() {
+        let mut net = stable_net(10, 25);
+        let plan = rechord_topology::ChurnPlan::mixed(6, 0.5, 77);
+        let outcomes = net.run_churn_plan(&plan, 99, 10_000);
+        assert!(!outcomes.is_empty());
+        for o in &outcomes {
+            assert!(o.report.converged, "every event must re-stabilize");
+        }
+        // final state is still sound
+        assert!(net.audit().missing_unmarked.is_empty());
+        let _ = TopologyKind::Random; // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,101 @@
+//! The delayed assignment (`A <- B`) message.
+//!
+//! Every cross-node command of the rules has the shape
+//! `N_k(at) <- N_k(at) ∪ {edge}` for one of the three edge classes `k` —
+//! insert an outgoing edge at some node. That single message shape is the
+//! whole wire protocol; deletions are always local (a node only ever removes
+//! its *own* outgoing edges).
+
+use crate::PeerState;
+use rechord_graph::{EdgeKind, NodeRef};
+
+/// "Insert the outgoing `kind` edge `(at, edge)` into `at`'s neighborhood
+/// at the start of the next round."
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Msg {
+    /// The node whose neighborhood gains the edge. Routed to `at.owner`.
+    pub at: NodeRef,
+    /// Edge class.
+    pub kind: EdgeKind,
+    /// The edge target.
+    pub edge: NodeRef,
+}
+
+impl Msg {
+    /// Applies the insert to the receiving peer's state.
+    ///
+    /// If the addressed level no longer exists (rule 1 deleted it while the
+    /// message was in flight), the insert lands on the peer's deepest level
+    /// `u_m` — the same hand-over target rule 1 uses for a deleted node's
+    /// neighborhood. Self-edges are discarded.
+    pub fn apply(&self, me: rechord_id::Ident, state: &mut PeerState) {
+        debug_assert_eq!(self.at.owner, me, "engine must route by owner");
+        let level = if state.levels.contains_key(&self.at.level) {
+            self.at.level
+        } else {
+            state.deepest_level()
+        };
+        let receiver = PeerState::node_ref(me, level);
+        if self.edge == receiver {
+            return; // never store a self-loop
+        }
+        if let Some(vs) = state.level_mut(level) {
+            vs.of_mut(self.kind).insert(self.edge);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rechord_id::Ident;
+
+    #[test]
+    fn insert_lands_on_addressed_level() {
+        let me = Ident::from_f64(0.3);
+        let mut st = PeerState::new();
+        st.levels.insert(2, Default::default());
+        let target = NodeRef::real(Ident::from_f64(0.9));
+        Msg { at: PeerState::node_ref(me, 2), kind: EdgeKind::Unmarked, edge: target }
+            .apply(me, &mut st);
+        assert!(st.level(2).unwrap().nu.contains(&target));
+        assert!(st.level(0).unwrap().nu.is_empty());
+    }
+
+    #[test]
+    fn stale_level_reroutes_to_deepest() {
+        let me = Ident::from_f64(0.3);
+        let mut st = PeerState::new();
+        st.levels.insert(4, Default::default());
+        let target = NodeRef::real(Ident::from_f64(0.9));
+        // level 9 was deleted; 4 is the deepest alive
+        Msg { at: PeerState::node_ref(me, 9), kind: EdgeKind::Ring, edge: target }
+            .apply(me, &mut st);
+        assert!(st.level(4).unwrap().nr.contains(&target));
+    }
+
+    #[test]
+    fn self_edge_discarded() {
+        let me = Ident::from_f64(0.3);
+        let mut st = PeerState::new();
+        let self_ref = PeerState::node_ref(me, 0);
+        Msg { at: self_ref, kind: EdgeKind::Unmarked, edge: self_ref }.apply(me, &mut st);
+        assert!(st.level(0).unwrap().nu.is_empty());
+    }
+
+    #[test]
+    fn message_ordering_is_total() {
+        let a = Msg {
+            at: NodeRef::real(Ident::from_raw(1)),
+            kind: EdgeKind::Unmarked,
+            edge: NodeRef::real(Ident::from_raw(2)),
+        };
+        let b = Msg {
+            at: NodeRef::real(Ident::from_raw(1)),
+            kind: EdgeKind::Ring,
+            edge: NodeRef::real(Ident::from_raw(2)),
+        };
+        assert!(a < b || b < a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+}

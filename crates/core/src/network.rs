@@ -1,0 +1,274 @@
+//! [`ReChordNetwork`]: the user-facing handle on a running Re-Chord overlay.
+
+use crate::metrics::{measure, NetworkMetrics};
+use crate::protocol::ReChordProtocol;
+use crate::stability::{audit, is_almost_stable, StableStateAudit};
+use crate::state::PeerState;
+use rechord_graph::{Edge, EdgeKind, NodeRef, OverlayGraph};
+use rechord_id::Ident;
+use rechord_sim::{Engine, FixpointReport, RoundOutcome};
+use rechord_topology::InitialTopology;
+
+/// A Re-Chord overlay network under simulation.
+///
+/// Wraps the synchronous engine with Re-Chord-specific operations: building
+/// from an initial topology, driving to stability, probing the almost-stable
+/// milestone, snapshots/metrics, and (via [`crate::churn`]) joins and leaves.
+pub struct ReChordNetwork {
+    engine: Engine<ReChordProtocol>,
+}
+
+impl ReChordNetwork {
+    /// Builds a network whose peers initially know exactly the edges of
+    /// `topology` (loaded into `N_u(u_0)`).
+    pub fn from_topology(topology: &InitialTopology, threads: usize) -> Self {
+        Self::from_topology_with_mask(topology, threads, crate::ablation::RuleMask::ALL)
+    }
+
+    /// Like [`ReChordNetwork::from_topology`] with an ablated rule set
+    /// (see [`crate::ablation`]).
+    pub fn from_topology_with_mask(
+        topology: &InitialTopology,
+        threads: usize,
+        mask: crate::ablation::RuleMask,
+    ) -> Self {
+        let mut engine = Engine::new(ReChordProtocol::with_mask(mask), threads);
+        for &id in &topology.ids {
+            engine.insert_node(id, PeerState::new());
+        }
+        for &(a, b) in &topology.edges {
+            let (from, to) = (topology.ids[a], topology.ids[b]);
+            if let Some(st) = engine.state_mut(from) {
+                st.level_mut(0).expect("level 0").nu.insert(NodeRef::real(to));
+            }
+        }
+        ReChordNetwork { engine }
+    }
+
+    /// Builds a network from **raw peer states** — the strongest reading of
+    /// self-stabilization: the initial state need not be a clean knowledge
+    /// graph; any garbage a transient fault could leave behind (wrong
+    /// levels, stale registers, arbitrary edge sets of every class) is
+    /// legal input, as long as the peers are weakly connected.
+    pub fn from_raw_states(
+        states: impl IntoIterator<Item = (Ident, PeerState)>,
+        threads: usize,
+    ) -> Self {
+        let mut engine = Engine::new(ReChordProtocol::full(), threads);
+        for (id, st) in states {
+            engine.insert_node(id, st);
+        }
+        ReChordNetwork { engine }
+    }
+
+    /// Convenience: generates the paper's random weakly connected initial
+    /// state with `n` peers and runs it to stability.
+    pub fn bootstrap_stable(
+        n: usize,
+        seed: u64,
+        threads: usize,
+        max_rounds: u64,
+    ) -> (Self, FixpointReport) {
+        let topo = rechord_topology::TopologyKind::Random.generate(n, seed);
+        let mut net = Self::from_topology(&topo, threads);
+        let report = net.run_until_stable(max_rounds);
+        (net, report)
+    }
+
+    /// Live peer identifiers, ascending.
+    pub fn real_ids(&self) -> Vec<Ident> {
+        self.engine.ids().to_vec()
+    }
+
+    /// Number of live peers.
+    pub fn len(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// True iff the network has no peers.
+    pub fn is_empty(&self) -> bool {
+        self.engine.is_empty()
+    }
+
+    /// Executes one synchronous round.
+    pub fn round(&mut self) -> RoundOutcome {
+        self.engine.round()
+    }
+
+    /// Runs until the global state is a fixpoint (the paper's stable state)
+    /// or `max_rounds` elapse.
+    pub fn run_until_stable(&mut self, max_rounds: u64) -> FixpointReport {
+        self.engine.run_until_fixpoint(max_rounds)
+    }
+
+    /// Runs to the fixpoint while probing for the almost-stable milestone.
+    /// Returns the fixpoint report and the first round (1-based, if any) at
+    /// which all desired edges existed — the two series of Figure 6.
+    pub fn run_until_stable_tracking_almost(
+        &mut self,
+        max_rounds: u64,
+    ) -> (FixpointReport, Option<u64>) {
+        let mut almost_round: Option<u64> = None;
+        let ids_hint = self.real_ids();
+        let mut round = 0u64;
+        let mut total_messages = 0usize;
+        loop {
+            if round >= max_rounds {
+                return (
+                    FixpointReport { rounds: max_rounds, converged: false, total_messages },
+                    almost_round,
+                );
+            }
+            let out = self.engine.round();
+            round += 1;
+            total_messages += out.delivered + out.dropped;
+            if almost_round.is_none() && is_almost_stable(&self.snapshot(), &ids_hint) {
+                almost_round = Some(round);
+            }
+            if !out.changed {
+                return (
+                    FixpointReport { rounds: round, converged: true, total_messages },
+                    almost_round,
+                );
+            }
+        }
+    }
+
+    /// Is the current state almost stable (all desired edges exist)?
+    pub fn is_almost_stable(&self) -> bool {
+        is_almost_stable(&self.snapshot(), &self.real_ids())
+    }
+
+    /// Runs until the almost-stable milestone — every desired edge exists —
+    /// and returns the number of rounds taken (0 when already there), or
+    /// `None` on budget exhaustion. This is the structural-integration
+    /// criterion of Theorems 4.1/4.2 ("every node has stable next and next
+    /// real neighbors and all virtual nodes are created"); the full
+    /// fixpoint additionally waits for the in-flight edge streams to settle.
+    pub fn run_until_almost_stable(&mut self, max_rounds: u64) -> Option<u64> {
+        if self.is_almost_stable() {
+            return Some(0);
+        }
+        for round in 1..=max_rounds {
+            self.engine.round();
+            if self.is_almost_stable() {
+                return Some(round);
+            }
+        }
+        None
+    }
+
+    /// Flattens the current global state into an [`OverlayGraph`].
+    pub fn snapshot(&self) -> OverlayGraph {
+        let mut g = OverlayGraph::new();
+        for (id, st) in self.engine.iter() {
+            for (&lvl, vs) in &st.levels {
+                let from = PeerState::node_ref(id, lvl);
+                g.add_node(from);
+                for kind in EdgeKind::ALL {
+                    for &to in vs.of(kind) {
+                        g.add_edge(Edge { from, to, kind });
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// Positions of all *simulated* virtual nodes.
+    pub fn virtual_positions(&self) -> Vec<Ident> {
+        let mut out = Vec::new();
+        for (id, st) in self.engine.iter() {
+            for &lvl in st.levels.keys() {
+                if lvl > 0 {
+                    out.push(id.virtual_position(lvl));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Measures the current state (Figure 5/7 series, Lemma 3.1 gaps).
+    pub fn metrics(&self) -> NetworkMetrics {
+        measure(&self.snapshot(), &self.real_ids(), &self.virtual_positions())
+    }
+
+    /// Audits the current state against the oracle topology.
+    pub fn audit(&self) -> StableStateAudit {
+        audit(&self.snapshot(), &self.real_ids())
+    }
+
+    /// Read access to the underlying engine.
+    pub fn engine(&self) -> &Engine<ReChordProtocol> {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine (used by the churn driver).
+    pub fn engine_mut(&mut self) -> &mut Engine<ReChordProtocol> {
+        &mut self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rechord_topology::TopologyKind;
+
+    #[test]
+    fn from_topology_seeds_level_zero_knowledge() {
+        let topo = TopologyKind::SortedLine.generate(4, 1);
+        let net = ReChordNetwork::from_topology(&topo, 1);
+        assert_eq!(net.len(), 4);
+        // the first peer knows the second
+        let first = topo.ids[0];
+        let second = topo.ids[1];
+        let st = net.engine().state(first).unwrap();
+        assert!(st.level(0).unwrap().nu.contains(&NodeRef::real(second)));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_state() {
+        let topo = TopologyKind::Star.generate(5, 2);
+        let net = ReChordNetwork::from_topology(&topo, 1);
+        let g = net.snapshot();
+        assert_eq!(g.real_count(), 5);
+        assert_eq!(g.edge_counts().total(), topo.edges.len());
+    }
+
+    #[test]
+    fn small_network_stabilizes_and_audits_clean() {
+        let topo = TopologyKind::Random.generate(8, 7);
+        let mut net = ReChordNetwork::from_topology(&topo, 1);
+        let report = net.run_until_stable(5_000);
+        assert!(report.converged, "8-peer random graph must stabilize");
+        let audit = net.audit();
+        assert!(
+            audit.missing_unmarked.is_empty(),
+            "missing desired edges: {:?}",
+            audit.missing_unmarked
+        );
+        assert!(audit.weakly_connected);
+    }
+
+    #[test]
+    fn almost_stable_no_later_than_stable() {
+        let topo = TopologyKind::Random.generate(6, 3);
+        let mut net = ReChordNetwork::from_topology(&topo, 1);
+        let (report, almost) = net.run_until_stable_tracking_almost(5_000);
+        assert!(report.converged);
+        let almost = almost.expect("stable implies almost-stable was seen");
+        assert!(almost <= report.rounds);
+    }
+
+    #[test]
+    fn metrics_reflect_stable_structure() {
+        let topo = TopologyKind::Random.generate(10, 11);
+        let mut net = ReChordNetwork::from_topology(&topo, 1);
+        net.run_until_stable(5_000);
+        let m = net.metrics();
+        assert_eq!(m.real_nodes, 10);
+        assert!(m.virtual_nodes >= 10, "every peer simulates at least u_1");
+        assert!(m.total_edges() > 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the protocol's global invariants.
+
+use crate::network::ReChordNetwork;
+use crate::oracle;
+use proptest::prelude::*;
+use rechord_graph::connectivity;
+use rechord_topology::TopologyKind;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Convergence (Theorem 1.1, bounded n): from random weakly connected
+    /// states the network reaches a fixpoint whose desired edges all exist.
+    #[test]
+    fn converges_from_random_states(n in 2usize..14, seed in any::<u64>()) {
+        let topo = TopologyKind::Random.generate(n, seed);
+        let mut net = ReChordNetwork::from_topology(&topo, 1);
+        let report = net.run_until_stable(20_000);
+        prop_assert!(report.converged, "n={n} seed={seed} did not stabilize");
+        let audit = net.audit();
+        prop_assert!(audit.missing_unmarked.is_empty(),
+            "missing edges at fixpoint: {:?}", audit.missing_unmarked);
+        prop_assert!(audit.weakly_connected);
+        prop_assert!(audit.virtual_set_matches);
+    }
+
+    /// Peer-level weak connectivity is never lost on the way to stability
+    /// (the precondition of the proofs must be an invariant of the rules).
+    #[test]
+    fn connectivity_is_invariant(n in 2usize..10, seed in any::<u64>()) {
+        let topo = TopologyKind::Random.generate(n, seed);
+        let mut net = ReChordNetwork::from_topology(&topo, 1);
+        for _ in 0..60 {
+            let out = net.round();
+            prop_assert!(
+                connectivity::peers_weakly_connected(&net.snapshot()),
+                "peers disconnected mid-stabilization (n={n} seed={seed})"
+            );
+            if !out.changed {
+                break;
+            }
+        }
+    }
+
+    /// The engine is deterministic: serial and 4-thread runs agree state-
+    /// for-state.
+    #[test]
+    fn thread_count_invariance(n in 2usize..10, seed in any::<u64>()) {
+        let topo = TopologyKind::Random.generate(n, seed);
+        let mut serial = ReChordNetwork::from_topology(&topo, 1);
+        let mut parallel = ReChordNetwork::from_topology(&topo, 4);
+        for _ in 0..25 {
+            serial.round();
+            parallel.round();
+            prop_assert_eq!(serial.snapshot(), parallel.snapshot());
+        }
+    }
+
+    /// Oracle sanity: the desired topology's per-node out-degree is at most
+    /// 4 unmarked edges (paper §2.2: "each node in Re-Chord has at most 4
+    /// outgoing unmarked edges").
+    #[test]
+    fn oracle_degree_bound(n in 1usize..40, seed in any::<u64>()) {
+        let topo = TopologyKind::Random.generate(n, seed);
+        let desired = oracle::desired_unmarked(&topo.ids);
+        for node in desired.nodes() {
+            let deg = desired.adjacency(node).map(|a| a.unmarked.len()).unwrap_or(0);
+            prop_assert!(deg <= 4, "node {node:?} has degree {deg}");
+        }
+    }
+
+    /// Oracle sanity: every Chord edge's endpoints are real peers and the
+    /// edge set grows like Θ(n log n).
+    #[test]
+    fn chord_edge_set_well_formed(n in 2usize..40, seed in any::<u64>()) {
+        let topo = TopologyKind::Random.generate(n, seed);
+        let edges = oracle::chord_edges(&topo.ids);
+        prop_assert!(edges.iter().all(|e| e.from != e.to));
+        prop_assert!(edges.iter().all(|e| topo.ids.contains(&e.from) && topo.ids.contains(&e.to)));
+        // at least the ring (2n directed edges) and at most ~n * (log2 n + 3)
+        prop_assert!(edges.len() >= 2 * n);
+    }
+
+    /// Stability is genuinely a fixpoint: running more rounds after
+    /// convergence changes nothing.
+    #[test]
+    fn fixpoint_is_absorbing(n in 2usize..10, seed in any::<u64>()) {
+        let topo = TopologyKind::Random.generate(n, seed);
+        let mut net = ReChordNetwork::from_topology(&topo, 1);
+        let report = net.run_until_stable(20_000);
+        prop_assert!(report.converged);
+        let frozen = net.snapshot();
+        for _ in 0..5 {
+            net.round();
+            prop_assert_eq!(net.snapshot(), frozen.clone());
+        }
+    }
+}

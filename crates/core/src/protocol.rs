@@ -1,0 +1,185 @@
+//! Glue: the Re-Chord rules as a [`SyncProtocol`] for the round engine.
+
+use crate::msg::Msg;
+use crate::rules::{self, RuleCtx};
+use crate::state::PeerState;
+use rechord_id::Ident;
+use rechord_sim::{Outbox, RoundView, SyncProtocol};
+
+/// The Re-Chord protocol: per round, each peer sanitizes its state,
+/// recomputes `m` and its neighborhoods (paper: "Before a node applies the
+/// set of rules, it updates its variables"), then fires rules 1–6 in paper
+/// order for all of its simulated nodes.
+///
+/// The `mask` selects which of rules 2–6 run — [`crate::ablation`]'s
+/// experiment knob; the default is the full protocol.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReChordProtocol {
+    /// Which rules run (default: all).
+    pub mask: crate::ablation::RuleMask,
+}
+
+impl ReChordProtocol {
+    /// The full (paper) protocol.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// The protocol with only the rules enabled in `mask`.
+    pub fn with_mask(mask: crate::ablation::RuleMask) -> Self {
+        ReChordProtocol { mask }
+    }
+}
+
+/// Realizes the paper's *graph-deletion semantics* in message passing: in
+/// the paper, deleting a node removes its incident edges from the global
+/// graph `G`, but a peer that holds an edge to a since-deleted virtual node
+/// cannot know this without checking. Each round, every reference is
+/// validated against the previous-round snapshot: references to vanished
+/// peers are dropped (their "connections fail", §4.2), and references to a
+/// live peer's deleted virtual level are redirected to that peer's deepest
+/// level — the same hand-over target rule 1 uses for the deleted node's own
+/// neighborhood. Without this, stale refs to deleted virtuals freeze into
+/// fixpoints that are not the Re-Chord topology.
+fn validate_references(me: Ident, state: &mut PeerState, view: &RoundView<'_, PeerState>) {
+    // Own levels as of the round start: a reference to one of the peer's
+    // *own* deleted virtual nodes is just as much a phantom as a foreign
+    // one (it arises when another node mirrors an edge back after the level
+    // was deleted) and is redirected to the deepest live level likewise.
+    let own_levels: std::collections::BTreeSet<u8> = state.levels.keys().copied().collect();
+    let own_deepest = state.deepest_level();
+    let remap = |r: &rechord_graph::NodeRef| -> Option<rechord_graph::NodeRef> {
+        if r.owner == me {
+            return Some(PeerState::node_ref(me, own_deepest));
+        }
+        let peer = view.get(r.owner)?; // dead peer → drop the reference
+        if peer.levels.contains_key(&r.level) {
+            Some(*r)
+        } else {
+            Some(PeerState::node_ref(r.owner, peer.deepest_level()))
+        }
+    };
+    let levels: Vec<u8> = state.levels.keys().copied().collect();
+    for lvl in levels {
+        let my_ref = PeerState::node_ref(me, lvl);
+        let Some(vs) = state.level_mut(lvl) else { continue };
+        for kind in rechord_graph::EdgeKind::ALL {
+            let set = vs.of_mut(kind);
+            let stale: Vec<rechord_graph::NodeRef> = set
+                .iter()
+                .copied()
+                .filter(|r| {
+                    if r.owner == me {
+                        !own_levels.contains(&r.level)
+                    } else {
+                        match view.get(r.owner) {
+                            None => true,
+                            Some(peer) => !peer.levels.contains_key(&r.level),
+                        }
+                    }
+                })
+                .collect();
+            for r in stale {
+                set.remove(&r);
+                if let Some(fixed) = remap(&r) {
+                    if fixed != my_ref {
+                        set.insert(fixed);
+                    }
+                }
+            }
+        }
+        // rl/rr point at level-0 nodes; only peer death can invalidate them.
+        if vs.rl.is_some_and(|r| r.owner != me && view.get(r.owner).is_none()) {
+            vs.rl = None;
+        }
+        if vs.rr.is_some_and(|r| r.owner != me && view.get(r.owner).is_none()) {
+            vs.rr = None;
+        }
+    }
+}
+
+impl SyncProtocol for ReChordProtocol {
+    type State = PeerState;
+    type Msg = Msg;
+
+    fn step(
+        &self,
+        me: Ident,
+        state: &mut PeerState,
+        view: &RoundView<'_, PeerState>,
+        out: &mut Outbox<Msg>,
+    ) {
+        state.sanitize(me);
+        validate_references(me, state, view);
+        let m = state.compute_m(me);
+        let mut ctx = RuleCtx { me, state, view, out };
+        rules::virtual_nodes::apply(&mut ctx, m); // rule 1 (always on)
+        if self.mask.overlap {
+            rules::overlap::apply(&mut ctx); //      rule 2
+        }
+        if self.mask.closest_real {
+            rules::closest_real::apply(&mut ctx); // rule 3
+        }
+        if self.mask.linearize {
+            rules::linearize::apply(&mut ctx); //    rule 4
+        }
+        if self.mask.ring {
+            rules::ring::apply(&mut ctx); //         rule 5
+        }
+        if self.mask.connection {
+            rules::connection::apply(&mut ctx); //   rule 6
+        }
+    }
+
+    fn deliver(&self, me: Ident, state: &mut PeerState, msg: &Msg) {
+        msg.apply(me, state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rechord_graph::NodeRef;
+    use rechord_sim::Engine;
+
+    #[test]
+    fn two_peers_stabilize_into_mutual_knowledge() {
+        let a = Ident::from_f64(0.2);
+        let b = Ident::from_f64(0.7);
+        let mut engine = Engine::new(ReChordProtocol::full(), 1);
+        engine.insert_node(a, PeerState::with_contacts([NodeRef::real(b)]));
+        engine.insert_node(b, PeerState::new());
+        let report = engine.run_until_fixpoint(500);
+        assert!(report.converged, "two-peer network must stabilize");
+        // both peers must know each other as closest real neighbors at level 0
+        let sa = engine.state(a).unwrap().level(0).unwrap();
+        let sb = engine.state(b).unwrap().level(0).unwrap();
+        assert_eq!(sa.rr, Some(NodeRef::real(b)));
+        assert_eq!(sb.rl, Some(NodeRef::real(a)));
+        assert!(sa.nu.contains(&NodeRef::real(b)));
+        assert!(sb.nu.contains(&NodeRef::real(a)));
+    }
+
+    #[test]
+    fn lone_peer_reaches_a_quiet_fixpoint() {
+        let a = Ident::from_f64(0.42);
+        let mut engine = Engine::new(ReChordProtocol::full(), 1);
+        engine.insert_node(a, PeerState::new());
+        let report = engine.run_until_fixpoint(100);
+        assert!(report.converged, "a singleton must quiesce");
+        // it simulates u_1 (m = 1 for a peer that knows no other real node)
+        assert!(engine.state(a).unwrap().level(1).is_some());
+    }
+
+    #[test]
+    fn virtual_levels_track_the_gap() {
+        let a = Ident::from_f64(0.0);
+        let b = Ident::from_f64(0.26); // gap 0.26: 1/4 <= gap < 1/2 → m = 2
+        let mut engine = Engine::new(ReChordProtocol::full(), 1);
+        engine.insert_node(a, PeerState::with_contacts([NodeRef::real(b)]));
+        engine.insert_node(b, PeerState::with_contacts([NodeRef::real(a)]));
+        engine.run_until_fixpoint(500);
+        let sa = engine.state(a).unwrap();
+        assert_eq!(sa.deepest_level(), 2, "m must match the finger condition");
+    }
+}

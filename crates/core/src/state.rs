@@ -1,0 +1,301 @@
+//! Per-peer protocol state: the neighborhoods of every simulated node.
+
+use rechord_graph::{EdgeKind, NodeRef};
+use rechord_id::{Ident, MAX_LEVEL};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// State of one (real or virtual) node: its outgoing neighborhoods and the
+/// closest-real-neighbor registers of rule 3.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VirtualState {
+    /// Unmarked out-neighbors `N_u(u_i)`.
+    pub nu: BTreeSet<NodeRef>,
+    /// Ring out-neighbors `N_r(u_i)`.
+    pub nr: BTreeSet<NodeRef>,
+    /// Connection out-neighbors `N_c(u_i)`.
+    pub nc: BTreeSet<NodeRef>,
+    /// `rl(u_i)`: closest known real node left of `u_i` (rule 3).
+    pub rl: Option<NodeRef>,
+    /// `rr(u_i)`: closest known real node right of `u_i` (rule 3).
+    pub rr: Option<NodeRef>,
+}
+
+impl VirtualState {
+    /// The neighborhood set of one edge class.
+    pub fn of(&self, kind: EdgeKind) -> &BTreeSet<NodeRef> {
+        match kind {
+            EdgeKind::Unmarked => &self.nu,
+            EdgeKind::Ring => &self.nr,
+            EdgeKind::Connection => &self.nc,
+        }
+    }
+
+    /// Mutable neighborhood set of one edge class.
+    pub fn of_mut(&mut self, kind: EdgeKind) -> &mut BTreeSet<NodeRef> {
+        match kind {
+            EdgeKind::Unmarked => &mut self.nu,
+            EdgeKind::Ring => &mut self.nr,
+            EdgeKind::Connection => &mut self.nc,
+        }
+    }
+
+    /// All outgoing targets across the three classes.
+    pub fn all_targets(&self) -> impl Iterator<Item = &NodeRef> {
+        self.nu.iter().chain(self.nr.iter()).chain(self.nc.iter())
+    }
+}
+
+/// Protocol state of one peer: one [`VirtualState`] per simulated level.
+///
+/// Level `0` is the real node `u_0 = u` and always exists; levels `1..=m`
+/// are the virtual nodes currently alive (rule 1 adjusts the set each
+/// round). The engine's fixpoint check compares `PeerState`s structurally,
+/// so every container here is ordered/deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerState {
+    /// Per-level node state, keyed by virtual level (`0` = real node).
+    pub levels: BTreeMap<u8, VirtualState>,
+}
+
+impl Default for PeerState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PeerState {
+    /// A fresh peer that knows nobody (level 0 only, empty neighborhoods).
+    pub fn new() -> Self {
+        let mut levels = BTreeMap::new();
+        levels.insert(0u8, VirtualState::default());
+        PeerState { levels }
+    }
+
+    /// A fresh peer whose real node initially knows `contacts` — how an
+    /// initial topology or a joining peer (§4.1: "it is connected to an
+    /// arbitrary real node of the network") is seeded.
+    pub fn with_contacts(contacts: impl IntoIterator<Item = NodeRef>) -> Self {
+        let mut st = Self::new();
+        st.levels.get_mut(&0).expect("level 0").nu.extend(contacts);
+        st
+    }
+
+    /// The [`NodeRef`] of this peer's node at `level`.
+    #[inline]
+    pub fn node_ref(owner: Ident, level: u8) -> NodeRef {
+        NodeRef { owner, level }
+    }
+
+    /// `S(u)`: the sibling node references currently simulated, ascending by
+    /// ring position (note: *not* by level — levels wrap around the ring).
+    pub fn siblings(&self, owner: Ident) -> Vec<NodeRef> {
+        let mut refs: Vec<NodeRef> =
+            self.levels.keys().map(|&lvl| Self::node_ref(owner, lvl)).collect();
+        refs.sort_unstable();
+        refs
+    }
+
+    /// `N(u) = S(u) ∪ ⋃_j N_u(u_j)`: the peer's known neighborhood through
+    /// unmarked edges (paper §2.2). Identical for every sibling, so it is
+    /// computed once per peer per round.
+    pub fn known(&self, owner: Ident) -> BTreeSet<NodeRef> {
+        let mut known: BTreeSet<NodeRef> =
+            self.levels.keys().map(|&lvl| Self::node_ref(owner, lvl)).collect();
+        for vs in self.levels.values() {
+            known.extend(vs.nu.iter().copied());
+        }
+        known
+    }
+
+    /// The clockwise gap from `owner` to the nearest known real node other
+    /// than itself, over **all** outgoing edges (`N_u ∪ N_r ∪ N_c` of every
+    /// level). `None` when no other real node is known.
+    pub fn closest_real_gap(&self, owner: Ident) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        for vs in self.levels.values() {
+            for t in vs.all_targets() {
+                if t.is_real() && t.owner != owner {
+                    let d = owner.dist_cw(t.pos());
+                    best = Some(best.map_or(d, |b| b.min(d)));
+                }
+            }
+        }
+        best
+    }
+
+    /// The paper's `m`: the level of the virtual node with the smallest
+    /// distance to `u` such that no known real node lies strictly inside
+    /// `(u, u + 1/2^m)` — equivalently the Chord finger condition
+    /// `1/2^m <= gap < 1/2^(m-1)` (DESIGN.md A1). A peer that knows no other
+    /// real node has `m = 1`.
+    pub fn compute_m(&self, owner: Ident) -> u8 {
+        match self.closest_real_gap(owner) {
+            Some(gap) => Ident::finger_level_for_gap(gap),
+            None => 1,
+        }
+    }
+
+    /// Removes degenerate references an adversarial initial state may
+    /// contain: self-edges (a node listed in its own neighborhood) and
+    /// out-of-range levels. Run at the top of every step (self-stabilization
+    /// must tolerate arbitrary initial garbage).
+    pub fn sanitize(&mut self, owner: Ident) {
+        for (&lvl, vs) in self.levels.iter_mut() {
+            let me = Self::node_ref(owner, lvl);
+            for kind in EdgeKind::ALL {
+                let set = vs.of_mut(kind);
+                set.remove(&me);
+                set.retain(|r| r.level <= MAX_LEVEL);
+            }
+            if vs.rl == Some(me) {
+                vs.rl = None;
+            }
+            if vs.rr == Some(me) {
+                vs.rr = None;
+            }
+        }
+    }
+
+    /// The state of the node at `level`, if simulated.
+    pub fn level(&self, level: u8) -> Option<&VirtualState> {
+        self.levels.get(&level)
+    }
+
+    /// Mutable state of the node at `level`, if simulated.
+    pub fn level_mut(&mut self, level: u8) -> Option<&mut VirtualState> {
+        self.levels.get_mut(&level)
+    }
+
+    /// The deepest currently simulated level (`u_m`; `0` for a bare peer).
+    pub fn deepest_level(&self) -> u8 {
+        self.levels.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Drops every reference to the peer `dead` from all neighborhoods —
+    /// models §4.2's crash semantics where "the node, as well as its
+    /// connections, fail".
+    pub fn purge_peer(&mut self, dead: Ident) {
+        for vs in self.levels.values_mut() {
+            vs.nu.retain(|r| r.owner != dead);
+            vs.nr.retain(|r| r.owner != dead);
+            vs.nc.retain(|r| r.owner != dead);
+            if vs.rl.is_some_and(|r| r.owner == dead) {
+                vs.rl = None;
+            }
+            if vs.rr.is_some_and(|r| r.owner == dead) {
+                vs.rr = None;
+            }
+        }
+    }
+
+    /// Total number of stored edges (all levels, all classes).
+    pub fn edge_count(&self) -> usize {
+        self.levels.values().map(|v| v.nu.len() + v.nr.len() + v.nc.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ident(x: f64) -> Ident {
+        Ident::from_f64(x)
+    }
+
+    #[test]
+    fn new_peer_has_level_zero_only() {
+        let st = PeerState::new();
+        assert_eq!(st.levels.len(), 1);
+        assert!(st.level(0).is_some());
+        assert_eq!(st.deepest_level(), 0);
+        assert_eq!(st.edge_count(), 0);
+    }
+
+    #[test]
+    fn compute_m_matches_finger_condition() {
+        let u = ident(0.2);
+        let mut st = PeerState::new();
+        // Knows a real node 0.3 clockwise away (gap ~ 0.1):
+        // 1/2^4 = 0.0625 <= 0.1 < 0.125 = 1/2^3  =>  m = 4.
+        st.levels.get_mut(&0).unwrap().nu.insert(NodeRef::real(ident(0.3)));
+        assert_eq!(st.compute_m(u), 4);
+        // A closer real node deepens m.
+        st.levels.get_mut(&0).unwrap().nu.insert(NodeRef::real(ident(0.2 + 0.01)));
+        assert_eq!(st.compute_m(u), Ident::finger_level_for_gap(u.dist_cw(ident(0.21))));
+        // Lone peer: m = 1.
+        assert_eq!(PeerState::new().compute_m(u), 1);
+    }
+
+    #[test]
+    fn gap_considers_all_edge_classes_and_wraps() {
+        let u = ident(0.9);
+        let mut st = PeerState::new();
+        st.levels.get_mut(&0).unwrap().nr.insert(NodeRef::real(ident(0.1)));
+        // clockwise 0.9 -> 0.1 wraps: gap 0.2
+        let gap = st.closest_real_gap(u).unwrap();
+        assert_eq!(gap, u.dist_cw(ident(0.1)));
+        // virtual targets are ignored
+        let mut st2 = PeerState::new();
+        st2.levels.get_mut(&0).unwrap().nu.insert(NodeRef::virtual_node(ident(0.95), 2));
+        assert_eq!(st2.closest_real_gap(u), None);
+    }
+
+    #[test]
+    fn known_unions_all_levels_and_siblings() {
+        let u = ident(0.1);
+        let mut st = PeerState::new();
+        st.levels.insert(3, VirtualState::default());
+        let a = NodeRef::real(ident(0.5));
+        let b = NodeRef::real(ident(0.7));
+        st.levels.get_mut(&0).unwrap().nu.insert(a);
+        st.levels.get_mut(&3).unwrap().nu.insert(b);
+        let known = st.known(u);
+        assert!(known.contains(&a) && known.contains(&b));
+        assert!(known.contains(&PeerState::node_ref(u, 0)));
+        assert!(known.contains(&PeerState::node_ref(u, 3)));
+        assert_eq!(known.len(), 4);
+    }
+
+    #[test]
+    fn siblings_sorted_by_position_not_level() {
+        // owner at 0.6: u1 = 0.1 (wraps), u2 = 0.85; position order is
+        // u1 < u0 < u2 even though levels are 0 < 1 < 2.
+        let u = ident(0.6);
+        let mut st = PeerState::new();
+        st.levels.insert(1, VirtualState::default());
+        st.levels.insert(2, VirtualState::default());
+        let sib = st.siblings(u);
+        assert_eq!(sib.len(), 3);
+        assert!(sib[0].pos() <= sib[1].pos() && sib[1].pos() <= sib[2].pos());
+        assert_eq!(sib[0].level, 1);
+        assert_eq!(sib[1].level, 0);
+        assert_eq!(sib[2].level, 2);
+    }
+
+    #[test]
+    fn sanitize_removes_self_references() {
+        let u = ident(0.4);
+        let mut st = PeerState::new();
+        let me = PeerState::node_ref(u, 0);
+        st.levels.get_mut(&0).unwrap().nu.insert(me);
+        st.levels.get_mut(&0).unwrap().rl = Some(me);
+        st.sanitize(u);
+        assert!(st.level(0).unwrap().nu.is_empty());
+        assert_eq!(st.level(0).unwrap().rl, None);
+    }
+
+    #[test]
+    fn purge_peer_clears_all_traces() {
+        let u = ident(0.4);
+        let dead = ident(0.8);
+        let mut st = PeerState::with_contacts([NodeRef::real(dead), NodeRef::real(ident(0.5))]);
+        st.levels.get_mut(&0).unwrap().nc.insert(NodeRef::virtual_node(dead, 2));
+        st.levels.get_mut(&0).unwrap().rr = Some(NodeRef::real(dead));
+        st.purge_peer(dead);
+        let vs = st.level(0).unwrap();
+        assert_eq!(vs.nu.len(), 1);
+        assert!(vs.nc.is_empty());
+        assert_eq!(vs.rr, None);
+        let _ = u;
+    }
+}

@@ -1,0 +1,180 @@
+//! Weak-connectivity analysis.
+//!
+//! Self-stabilization is only possible from states where a legal state is
+//! reachable, i.e. the initial directed graph is **weakly connected** (paper
+//! §2.1). The convergence proof additionally tracks connectivity of the
+//! *real-peer* projection (an edge `(u_i, v_j)` of any class weakly connects
+//! peers `u` and `v`). This module provides a union-find and both checks.
+
+use crate::{NodeRef, OverlayGraph};
+use rechord_id::Ident;
+use std::collections::BTreeMap;
+
+/// Disjoint-set forest with path halving and union by size.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n], components: n }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]]; // path halving
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            core::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Is the multigraph weakly connected over **all** nodes (edges of every
+/// class, direction ignored)? Empty and single-node graphs count as
+/// connected.
+pub fn weakly_connected(g: &OverlayGraph) -> bool {
+    component_count(g) <= 1
+}
+
+/// Number of weakly connected components over all nodes.
+pub fn component_count(g: &OverlayGraph) -> usize {
+    let index: BTreeMap<&NodeRef, usize> =
+        g.nodes().enumerate().map(|(i, n)| (n, i)).collect();
+    if index.is_empty() {
+        return 0;
+    }
+    let mut uf = UnionFind::new(index.len());
+    for e in g.edges() {
+        uf.union(index[&e.from], index[&e.to]);
+    }
+    uf.component_count()
+}
+
+/// Is the **real-peer projection** weakly connected? Two peers are joined
+/// when any edge (any class) runs between any of their nodes — and a peer's
+/// own virtual nodes always count as attached to it (they are simulated
+/// locally; paper §2.2 notes `V_r ∩ N(u_0) ≠ ∅`).
+pub fn peers_weakly_connected(g: &OverlayGraph) -> bool {
+    peer_component_count(g) <= 1
+}
+
+/// Number of weakly connected components of the real-peer projection.
+pub fn peer_component_count(g: &OverlayGraph) -> usize {
+    let mut owners: BTreeMap<Ident, usize> = BTreeMap::new();
+    for n in g.nodes() {
+        let next = owners.len();
+        owners.entry(n.owner).or_insert(next);
+    }
+    if owners.is_empty() {
+        return 0;
+    }
+    let mut uf = UnionFind::new(owners.len());
+    for e in g.edges() {
+        uf.union(owners[&e.from.owner], owners[&e.to.owner]);
+    }
+    uf.component_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Edge;
+
+    fn r(x: f64) -> NodeRef {
+        NodeRef::real(Ident::from_f64(x))
+    }
+
+    fn v(x: f64, lvl: u8) -> NodeRef {
+        NodeRef::virtual_node(Ident::from_f64(x), lvl)
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.component_count(), 4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.component_count(), 2);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        uf.union(1, 3);
+        assert_eq!(uf.component_count(), 1);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        let g: OverlayGraph =
+            [Edge::unmarked(r(0.1), r(0.5)), Edge::unmarked(r(0.9), r(0.5))].into_iter().collect();
+        assert!(weakly_connected(&g));
+    }
+
+    #[test]
+    fn disconnected_components_counted() {
+        let mut g: OverlayGraph = [Edge::unmarked(r(0.1), r(0.2))].into_iter().collect();
+        g.add_node(r(0.7));
+        assert_eq!(component_count(&g), 2);
+        assert!(!weakly_connected(&g));
+    }
+
+    #[test]
+    fn all_edge_classes_connect() {
+        let g: OverlayGraph =
+            [Edge::ring(r(0.1), r(0.2)), Edge::connection(r(0.2), r(0.3))].into_iter().collect();
+        assert!(weakly_connected(&g));
+    }
+
+    #[test]
+    fn peer_projection_joins_siblings_implicitly() {
+        // u's virtual node and u's real node have no explicit edge, but the
+        // peer projection treats them as one peer.
+        let mut g = OverlayGraph::new();
+        g.add_node(r(0.1));
+        g.add_node(v(0.1, 3));
+        g.add_node(r(0.6));
+        g.add_edge(Edge::unmarked(v(0.1, 3), r(0.6)));
+        // Node-level: r(0.1) is isolated from the rest.
+        assert_eq!(component_count(&g), 2);
+        // Peer-level: only two peers, connected.
+        assert_eq!(peer_component_count(&g), 1);
+        assert!(peers_weakly_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_connected() {
+        let g = OverlayGraph::new();
+        assert!(weakly_connected(&g));
+        assert_eq!(component_count(&g), 0);
+        assert_eq!(peer_component_count(&g), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the overlay multigraph.
+
+use crate::{connectivity, Edge, EdgeKind, NodeRef, OverlayGraph};
+use proptest::prelude::*;
+use rechord_id::Ident;
+
+fn node_refs() -> impl Strategy<Value = NodeRef> {
+    (any::<u64>(), 0u8..=8).prop_map(|(o, l)| NodeRef { owner: Ident::from_raw(o), level: l })
+}
+
+fn kinds() -> impl Strategy<Value = EdgeKind> {
+    prop_oneof![
+        Just(EdgeKind::Unmarked),
+        Just(EdgeKind::Ring),
+        Just(EdgeKind::Connection)
+    ]
+}
+
+fn edges() -> impl Strategy<Value = Edge> {
+    (node_refs(), node_refs(), kinds()).prop_map(|(from, to, kind)| Edge { from, to, kind })
+}
+
+proptest! {
+    /// Edge insertion is idempotent and `has_edge` agrees with `add_edge`.
+    #[test]
+    fn insertion_idempotent(es in prop::collection::vec(edges(), 0..60)) {
+        let mut g = OverlayGraph::new();
+        for e in &es {
+            g.add_edge(*e);
+        }
+        let count_once = g.edge_counts();
+        for e in &es {
+            prop_assert!(!g.add_edge(*e) || e.from == e.to);
+        }
+        prop_assert_eq!(g.edge_counts(), count_once);
+        for e in &es {
+            if e.from != e.to {
+                prop_assert!(g.has_edge(e));
+            }
+        }
+    }
+
+    /// FromIterator equals incremental construction.
+    #[test]
+    fn from_iter_equals_incremental(es in prop::collection::vec(edges(), 0..60)) {
+        let g1: OverlayGraph = es.iter().copied().collect();
+        let mut g2 = OverlayGraph::new();
+        for e in &es {
+            g2.add_edge(*e);
+        }
+        prop_assert_eq!(g1, g2);
+    }
+
+    /// `edges()` round-trips: rebuilding from the iterator reproduces the graph
+    /// up to isolated nodes.
+    #[test]
+    fn edge_iterator_roundtrip(es in prop::collection::vec(edges(), 0..60)) {
+        let g: OverlayGraph = es.iter().copied().collect();
+        let mut rebuilt: OverlayGraph = g.edges().collect();
+        for n in g.nodes() {
+            rebuilt.add_node(*n);
+        }
+        prop_assert_eq!(g, rebuilt);
+    }
+
+    /// Removing an edge then re-adding it restores the graph.
+    #[test]
+    fn remove_restore(es in prop::collection::vec(edges(), 1..40), idx in any::<prop::sample::Index>()) {
+        let g: OverlayGraph = es.iter().copied().collect();
+        let all: Vec<Edge> = g.edges().collect();
+        prop_assume!(!all.is_empty());
+        let victim = all[idx.index(all.len())];
+        let mut h = g.clone();
+        prop_assert!(h.remove_edge(&victim));
+        prop_assert!(!h.has_edge(&victim));
+        h.add_edge(victim);
+        prop_assert_eq!(g, h);
+    }
+
+    /// Adding edges never increases the number of weak components.
+    #[test]
+    fn edges_only_merge_components(es in prop::collection::vec(edges(), 0..60), extra in edges()) {
+        let g: OverlayGraph = es.iter().copied().collect();
+        let before = connectivity::component_count(&g);
+        let mut h = g.clone();
+        let grew = h.add_edge(extra);
+        let after = connectivity::component_count(&h);
+        // New nodes may appear (components +), but an edge between existing
+        // nodes can only merge. Check the invariant that holds universally:
+        if !grew {
+            prop_assert_eq!(after, before);
+        } else {
+            prop_assert!(after <= before + 2);
+            // and peers connected by the new edge are in one component
+            prop_assert!(connectivity::peer_component_count(&h)
+                <= connectivity::peer_component_count(&g) + 2);
+        }
+    }
+
+    /// Peer components never exceed node components.
+    #[test]
+    fn peer_projection_coarsens(es in prop::collection::vec(edges(), 0..60)) {
+        let g: OverlayGraph = es.iter().copied().collect();
+        prop_assert!(connectivity::peer_component_count(&g) <= connectivity::component_count(&g));
+    }
+
+    /// Edge counts agree with the edge iterator.
+    #[test]
+    fn counts_agree_with_iterator(es in prop::collection::vec(edges(), 0..60)) {
+        let g: OverlayGraph = es.iter().copied().collect();
+        let c = g.edge_counts();
+        prop_assert_eq!(c.total(), g.edges().count());
+        prop_assert_eq!(c.unmarked, g.edges().filter(|e| e.kind == EdgeKind::Unmarked).count());
+        prop_assert_eq!(c.ring, g.edges().filter(|e| e.kind == EdgeKind::Ring).count());
+        prop_assert_eq!(c.connection, g.edges().filter(|e| e.kind == EdgeKind::Connection).count());
+    }
+}

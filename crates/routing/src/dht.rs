@@ -1,0 +1,262 @@
+//! A consistent-hashing key-value store on the Re-Chord overlay — the kind
+//! of application Chord was built for (§1 of the Chord paper), running
+//! unchanged on Re-Chord per Fact 2.1.
+
+use crate::greedy::{route, RoutingTable};
+use rechord_id::{IdSpace, Ident};
+use std::collections::BTreeMap;
+
+/// What a `get`/`put` experienced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LookupOutcome {
+    /// Peer that stores (or would store) the key.
+    pub responsible: Ident,
+    /// Overlay hops the request took from the querying peer.
+    pub hops: usize,
+    /// Did routing reach the responsible peer?
+    pub routed: bool,
+}
+
+/// A DHT view over a *stable* overlay snapshot: keys are hashed onto the
+/// ring and stored at their cyclic-successor peer (optionally replicated to
+/// the following peers, as Chord's successor-list replication does);
+/// requests are routed greedily from a querying peer. The store models the
+/// application layer, so it lives outside the protocol state; after churn
+/// the overlay re-stabilizes and the application [`KvStore::rebuild`]s its
+/// routing view, keeping surviving peers' data.
+#[derive(Debug)]
+pub struct KvStore {
+    table: RoutingTable,
+    space: IdSpace,
+    replication: usize,
+    storage: BTreeMap<Ident, BTreeMap<u64, String>>,
+}
+
+impl KvStore {
+    /// Creates an empty store over a routing table. `space` maps raw keys
+    /// onto the identifier ring.
+    pub fn new(table: RoutingTable, space: IdSpace) -> Self {
+        Self::with_replication(table, space, 1)
+    }
+
+    /// Like [`KvStore::new`] with each key stored at the responsible peer
+    /// and its `replication - 1` cyclic successors (Chord's successor-list
+    /// replication; `replication` is clamped to at least 1).
+    pub fn with_replication(table: RoutingTable, space: IdSpace, replication: usize) -> Self {
+        KvStore { table, space, replication: replication.max(1), storage: BTreeMap::new() }
+    }
+
+    /// The responsible peer plus its replication successors for a ring
+    /// position, deduplicated (small networks may have fewer peers than
+    /// replicas).
+    pub fn replica_peers(&self, pos: Ident) -> Vec<Ident> {
+        let peers = self.table.peers();
+        if peers.is_empty() {
+            return Vec::new();
+        }
+        let start = match peers.binary_search(&pos) {
+            Ok(i) => i,
+            Err(i) if i < peers.len() => i,
+            Err(_) => 0,
+        };
+        (0..self.replication.min(peers.len()))
+            .map(|k| peers[(start + k) % peers.len()])
+            .collect()
+    }
+
+    /// Swaps in a freshly stabilized routing view, dropping data held by
+    /// peers that no longer exist. Keys whose responsible peer changed are
+    /// still found through surviving replicas.
+    pub fn rebuild(&mut self, table: RoutingTable) {
+        let alive: std::collections::BTreeSet<Ident> = table.peers().iter().copied().collect();
+        self.storage.retain(|peer, _| alive.contains(peer));
+        self.table = table;
+    }
+
+    /// The routing table in use.
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// Stores `value` under `key`, issued from peer `via`. Returns the
+    /// outcome; the value is stored (at the responsible peer and its
+    /// replicas) only when routing succeeded.
+    pub fn put(&mut self, via: Ident, key: u64, value: impl Into<String>) -> Option<LookupOutcome> {
+        let pos = self.space.key_position(key);
+        let responsible = self.table.responsible_for(pos)?;
+        let r = route(&self.table, via, pos);
+        let outcome = LookupOutcome { responsible, hops: r.hops(), routed: r.success };
+        if r.success {
+            let value = value.into();
+            for peer in self.replica_peers(pos) {
+                self.storage.entry(peer).or_default().insert(key, value.clone());
+            }
+        }
+        Some(outcome)
+    }
+
+    /// Fetches the value under `key`, issued from peer `via`. On a miss at
+    /// the responsible peer (e.g. after churn remapped the key), the
+    /// replicas are consulted — each costing one extra hop.
+    pub fn get(&self, via: Ident, key: u64) -> Option<(Option<&str>, LookupOutcome)> {
+        let pos = self.space.key_position(key);
+        let responsible = self.table.responsible_for(pos)?;
+        let r = route(&self.table, via, pos);
+        let mut outcome = LookupOutcome { responsible, hops: r.hops(), routed: r.success };
+        if !r.success {
+            return Some((None, outcome));
+        }
+        for peer in self.replica_peers(pos) {
+            if let Some(v) = self.storage.get(&peer).and_then(|m| m.get(&key)) {
+                return Some((Some(v.as_str()), outcome));
+            }
+            outcome.hops += 1; // walked one successor further
+        }
+        Some((None, outcome))
+    }
+
+    /// Number of keys stored at `peer`.
+    pub fn load_of(&self, peer: Ident) -> usize {
+        self.storage.get(&peer).map(BTreeMap::len).unwrap_or(0)
+    }
+
+    /// `(max load, mean load)` over all peers — consistent hashing's load
+    /// balance (`O(log n)` imbalance factor w.h.p.).
+    pub fn load_balance(&self) -> (usize, f64) {
+        let peers = self.table.peers();
+        if peers.is_empty() {
+            return (0, 0.0);
+        }
+        let total: usize = peers.iter().map(|p| self.load_of(*p)).sum();
+        let max = peers.iter().map(|p| self.load_of(*p)).max().unwrap_or(0);
+        (max, total as f64 / peers.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::RoutingTable;
+    use rechord_core::network::ReChordNetwork;
+
+    fn store(n: usize, seed: u64) -> KvStore {
+        let (net, report) = ReChordNetwork::bootstrap_stable(n, seed, 1, 20_000);
+        assert!(report.converged);
+        let table = RoutingTable::from_network(&net);
+        KvStore::new(table, IdSpace::new(seed))
+    }
+
+    #[test]
+    fn put_then_get_roundtrips() {
+        let mut kv = store(12, 5);
+        let via = kv.table().peers()[0];
+        let other = kv.table().peers()[7];
+        for key in 0..50u64 {
+            let out = kv.put(via, key, format!("value-{key}")).unwrap();
+            assert!(out.routed, "put of {key} must route");
+        }
+        for key in 0..50u64 {
+            let (val, out) = kv.get(other, key).unwrap();
+            assert!(out.routed);
+            assert_eq!(val, Some(format!("value-{key}").as_str()));
+        }
+    }
+
+    #[test]
+    fn missing_key_returns_none_but_routes() {
+        let kv = store(6, 9);
+        let via = kv.table().peers()[1];
+        let (val, out) = kv.get(via, 999).unwrap();
+        assert!(out.routed);
+        assert_eq!(val, None);
+    }
+
+    #[test]
+    fn same_key_same_responsible_peer_from_any_source() {
+        let mut kv = store(10, 13);
+        let peers = kv.table().peers().to_vec();
+        let out1 = kv.put(peers[0], 7, "x").unwrap();
+        let out2 = kv.put(peers[5], 7, "y").unwrap();
+        assert_eq!(out1.responsible, out2.responsible);
+        let (val, _) = kv.get(peers[9], 7).unwrap();
+        assert_eq!(val, Some("y"), "last write wins at the same peer");
+    }
+
+    #[test]
+    fn replication_stores_at_successor_peers() {
+        let mut kv = {
+            let base = store(10, 23);
+            KvStore::with_replication(base.table().clone(), IdSpace::new(23), 3)
+        };
+        let via = kv.table().peers()[0];
+        kv.put(via, 11, "replicated").unwrap();
+        let pos = IdSpace::new(23).key_position(11);
+        let replicas = kv.replica_peers(pos);
+        assert_eq!(replicas.len(), 3);
+        for peer in &replicas {
+            assert_eq!(kv.load_of(*peer), 1, "replica {peer} must hold the key");
+        }
+    }
+
+    #[test]
+    fn rebuild_drops_dead_peers_and_replicas_answer() {
+        let base = store(10, 29);
+        let space = IdSpace::new(29);
+        let mut kv = KvStore::with_replication(base.table().clone(), space, 3);
+        let via = kv.table().peers()[0];
+        for key in 0..40u64 {
+            assert!(kv.put(via, key, format!("v{key}")).unwrap().routed);
+        }
+        // Simulate the primary of key 7 dying: rebuild with a table lacking it.
+        let pos = space.key_position(7);
+        let primary = kv.replica_peers(pos)[0];
+        let survivors: Vec<Ident> =
+            kv.table().peers().iter().copied().filter(|&p| p != primary).collect();
+        // Build a fully-connected routing table over the survivors (the
+        // overlay re-stabilizes; here the graph detail is irrelevant).
+        let mut g = rechord_graph::OverlayGraph::new();
+        for &a in &survivors {
+            for &b in &survivors {
+                if a != b {
+                    g.add_edge(rechord_graph::Edge::unmarked(
+                        rechord_graph::NodeRef::real(a),
+                        rechord_graph::NodeRef::real(b),
+                    ));
+                }
+            }
+        }
+        let fresh = RoutingTable::from_overlay(&g);
+        kv.rebuild(fresh);
+        let reader = kv.table().peers()[0];
+        let (value, out) = kv.get(reader, 7).unwrap();
+        assert!(out.routed);
+        assert_eq!(value, Some("v7"), "a replica must still hold key 7");
+    }
+
+    #[test]
+    fn replication_clamps_to_population() {
+        let base = store(3, 31);
+        let kv = KvStore::with_replication(base.table().clone(), IdSpace::new(31), 10);
+        let replicas = kv.replica_peers(Ident::from_raw(5));
+        assert_eq!(replicas.len(), 3, "cannot replicate past the population");
+        let mut dedup = replicas.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), replicas.len());
+    }
+
+    #[test]
+    fn load_is_spread_across_peers() {
+        let mut kv = store(16, 17);
+        let via = kv.table().peers()[0];
+        for key in 0..400u64 {
+            kv.put(via, key, "v").unwrap();
+        }
+        let (max, mean) = kv.load_balance();
+        assert!(mean > 0.0);
+        // consistent hashing: no peer should hold everything
+        assert!(max < 400, "one peer holds every key");
+        // and at least a handful of peers hold something
+        let loaded = kv.table().peers().iter().filter(|p| kv.load_of(**p) > 0).count();
+        assert!(loaded >= 4, "only {loaded} peers loaded");
+    }
+}

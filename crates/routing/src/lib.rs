@@ -1,0 +1,24 @@
+//! Routing and storage on the stabilized Re-Chord overlay.
+//!
+//! Fact 2.1 of the paper: the stable Re-Chord network contains Chord as a
+//! subgraph, "so it can faithfully emulate any applications on top of
+//! Chord". This crate is that application layer:
+//!
+//! * [`route`] — greedy Chord routing over the projected peer overlay
+//!   (§1.1's binary-search path: always hop to the neighbor that gets
+//!   closest to the key without overshooting), `O(log n)` hops w.h.p.;
+//! * [`KvStore`] — consistent-hashing key-value storage where the key's
+//!   cyclic successor peer is responsible, with puts/gets resolved by
+//!   routing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dht;
+mod greedy;
+
+pub use dht::{KvStore, LookupOutcome};
+pub use greedy::{route, RouteResult, RoutingTable};
+
+#[cfg(test)]
+mod proptests;

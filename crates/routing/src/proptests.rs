@@ -1,0 +1,47 @@
+//! Property tests: routing on stable overlays always succeeds and stays
+//! within logarithmic-ish hop counts.
+
+use crate::{route, RoutingTable};
+use proptest::prelude::*;
+use rechord_core::network::ReChordNetwork;
+use rechord_id::Ident;
+
+fn stable_table(n: usize, seed: u64) -> RoutingTable {
+    let (net, report) = ReChordNetwork::bootstrap_stable(n, seed, 1, 20_000);
+    assert!(report.converged, "bootstrap n={n} seed={seed}");
+    RoutingTable::from_network(&net)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every key routes successfully from every source on a stable overlay,
+    /// and the destination is the key's cyclic successor.
+    #[test]
+    fn routing_total_on_stable_overlays(n in 2usize..14, seed in any::<u64>(),
+                                        key in any::<u64>(), src_idx in any::<prop::sample::Index>()) {
+        let t = stable_table(n, seed);
+        let peers = t.peers().to_vec();
+        let src = peers[src_idx.index(peers.len())];
+        let key = Ident::from_raw(key);
+        let r = route(&t, src, key);
+        prop_assert!(r.success, "route failed: path {:?}", r.path);
+        prop_assert_eq!(*r.path.last().unwrap(), t.responsible_for(key).unwrap());
+        // never visits a peer twice (greedy progress is monotone)
+        let mut seen = r.path.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), r.path.len(), "path revisits a peer");
+    }
+
+    /// Hop counts stay within a generous logarithmic envelope.
+    #[test]
+    fn hops_bounded(n in 4usize..14, seed in any::<u64>(), key in any::<u64>()) {
+        let t = stable_table(n, seed);
+        let src = t.peers()[0];
+        let r = route(&t, src, Ident::from_raw(key));
+        prop_assert!(r.success);
+        let bound = 4 * (usize::BITS - (n.max(2) - 1).leading_zeros()) as usize + 4;
+        prop_assert!(r.hops() <= bound, "hops {} > bound {bound} at n={n}", r.hops());
+    }
+}

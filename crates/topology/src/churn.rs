@@ -1,0 +1,126 @@
+//! Churn schedules: timed join/leave sequences applied to a running network.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One churn event, scheduled relative to the experiment's round clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// A fresh peer (identified by an address to be hashed) joins by
+    /// contacting a uniformly chosen existing peer (paper §4.1: "a peer
+    /// connects to one peer in the network").
+    Join {
+        /// New peer's address (hashed onto the ring by the driver).
+        address: u64,
+    },
+    /// A uniformly chosen existing peer leaves gracefully (informs its
+    /// neighbors; paper §4.2).
+    GracefulLeave,
+    /// A uniformly chosen existing peer crashes: it vanishes with all its
+    /// edges and cannot say goodbye (paper §4.2 "a fault can occur").
+    Crash,
+}
+
+/// A deterministic schedule of churn events with inter-event gaps measured
+/// in *stabilization opportunities* (the driver lets the network re-stabilize
+/// or run a fixed number of rounds between events).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChurnPlan {
+    /// Events in application order.
+    pub events: Vec<ChurnEvent>,
+}
+
+impl ChurnPlan {
+    /// `joins` joins followed by nothing else — Theorem 4.1's workload.
+    pub fn joins_only(joins: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        ChurnPlan {
+            events: (0..joins).map(|_| ChurnEvent::Join { address: rng.gen() }).collect(),
+        }
+    }
+
+    /// `leaves` graceful leaves — Theorem 4.2's workload.
+    pub fn leaves_only(leaves: usize) -> Self {
+        ChurnPlan { events: vec![ChurnEvent::GracefulLeave; leaves] }
+    }
+
+    /// `crashes` crash failures — Theorem 4.2's fault variant.
+    pub fn crashes_only(crashes: usize) -> Self {
+        ChurnPlan { events: vec![ChurnEvent::Crash; crashes] }
+    }
+
+    /// A mixed schedule: each event is a join with probability `p_join`,
+    /// otherwise a crash or graceful leave with equal probability.
+    pub fn mixed(events: usize, p_join: f64, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let events = (0..events)
+            .map(|_| {
+                if rng.gen_bool(p_join.clamp(0.0, 1.0)) {
+                    ChurnEvent::Join { address: rng.gen() }
+                } else if rng.gen_bool(0.5) {
+                    ChurnEvent::GracefulLeave
+                } else {
+                    ChurnEvent::Crash
+                }
+            })
+            .collect();
+        ChurnPlan { events }
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True iff no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Net population change if every event succeeds.
+    pub fn net_population_delta(&self) -> isize {
+        self.events
+            .iter()
+            .map(|e| match e {
+                ChurnEvent::Join { .. } => 1isize,
+                ChurnEvent::GracefulLeave | ChurnEvent::Crash => -1,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joins_only_is_deterministic_and_join_only() {
+        let a = ChurnPlan::joins_only(5, 1);
+        let b = ChurnPlan::joins_only(5, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a.events.iter().all(|e| matches!(e, ChurnEvent::Join { .. })));
+        assert_eq!(a.net_population_delta(), 5);
+    }
+
+    #[test]
+    fn leaves_and_crashes() {
+        assert_eq!(ChurnPlan::leaves_only(3).net_population_delta(), -3);
+        assert_eq!(ChurnPlan::crashes_only(2).net_population_delta(), -2);
+    }
+
+    #[test]
+    fn mixed_respects_probability_extremes() {
+        let all_joins = ChurnPlan::mixed(20, 1.0, 7);
+        assert!(all_joins.events.iter().all(|e| matches!(e, ChurnEvent::Join { .. })));
+        let no_joins = ChurnPlan::mixed(20, 0.0, 7);
+        assert!(no_joins.events.iter().all(|e| !matches!(e, ChurnEvent::Join { .. })));
+    }
+
+    #[test]
+    fn empty_plan() {
+        let p = ChurnPlan::default();
+        assert!(p.is_empty());
+        assert_eq!(p.net_population_delta(), 0);
+    }
+}

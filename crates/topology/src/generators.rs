@@ -1,0 +1,206 @@
+//! Named topology families for convergence sweeps.
+
+use crate::InitialTopology;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The initial-state families exercised by the experiments.
+///
+/// `Random` is the paper's §5 workload; the rest are adversarial weakly
+/// connected shapes a self-stabilizing protocol must also recover from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// Random attachment tree plus `~n/2` extra random directed edges — the
+    /// paper's "random undirected weakly connected graph".
+    Random,
+    /// A path visiting the peers in *random* (not identifier) order: maximal
+    /// linearization work.
+    RandomLine,
+    /// A path in identifier order (already sorted; tests the fast path).
+    SortedLine,
+    /// A star: one random center knows everyone (or is known by everyone).
+    Star,
+    /// The complete directed graph (maximal initial knowledge).
+    Clique,
+    /// A balanced binary tree over a random permutation of the peers.
+    BinaryTree,
+    /// Two sorted rings over the odd/even halves of the identifier space,
+    /// weakly connected by a single bridge edge. Classic Chord's stabilize
+    /// cannot merge such "loopy" states; Re-Chord must.
+    DoubleRingBridge,
+}
+
+impl TopologyKind {
+    /// All families, for sweep tables.
+    pub const ALL: [TopologyKind; 7] = [
+        TopologyKind::Random,
+        TopologyKind::RandomLine,
+        TopologyKind::SortedLine,
+        TopologyKind::Star,
+        TopologyKind::Clique,
+        TopologyKind::BinaryTree,
+        TopologyKind::DoubleRingBridge,
+    ];
+
+    /// Short display name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopologyKind::Random => "random",
+            TopologyKind::RandomLine => "random-line",
+            TopologyKind::SortedLine => "sorted-line",
+            TopologyKind::Star => "star",
+            TopologyKind::Clique => "clique",
+            TopologyKind::BinaryTree => "binary-tree",
+            TopologyKind::DoubleRingBridge => "double-ring-bridge",
+        }
+    }
+
+    /// Generates an `n`-peer instance of this family with fresh random
+    /// identifiers, deterministically from `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> InitialTopology {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xc2b2_ae3d_27d4_eb4f);
+        let ids = InitialTopology::random_ids(n, &mut rng);
+        self.generate_over(ids, &mut rng)
+    }
+
+    /// Generates this family over caller-provided identifiers.
+    pub fn generate_over(&self, ids: Vec<Ident2>, rng: &mut SmallRng) -> InitialTopology {
+        let n = ids.len();
+        match self {
+            TopologyKind::Random => {
+                let extra = n / 2;
+                InitialTopology::random_attachment_tree(ids, rng)
+                    .with_extra_random_edges(extra, rng)
+            }
+            TopologyKind::RandomLine => {
+                let perm = permutation(n, rng);
+                let edges = (1..n).map(|k| (perm[k - 1], perm[k])).collect();
+                InitialTopology::new(ids, edges)
+            }
+            TopologyKind::SortedLine => {
+                let edges = (1..n).map(|k| (k - 1, k)).collect();
+                InitialTopology::new(ids, edges)
+            }
+            TopologyKind::Star => {
+                let center = if n == 0 { 0 } else { rng.gen_range(0..n) };
+                let edges = (0..n)
+                    .filter(|&i| i != center)
+                    .map(|i| if rng.gen_bool(0.5) { (center, i) } else { (i, center) })
+                    .collect();
+                InitialTopology::new(ids, edges)
+            }
+            TopologyKind::Clique => {
+                let mut edges = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)));
+                for a in 0..n {
+                    for b in 0..n {
+                        if a != b {
+                            edges.push((a, b));
+                        }
+                    }
+                }
+                InitialTopology::new(ids, edges)
+            }
+            TopologyKind::BinaryTree => {
+                let perm = permutation(n, rng);
+                let mut edges = Vec::with_capacity(n.saturating_sub(1));
+                for k in 1..n {
+                    edges.push((perm[(k - 1) / 2], perm[k]));
+                }
+                InitialTopology::new(ids, edges)
+            }
+            TopologyKind::DoubleRingBridge => {
+                // ids are sorted; ring A = even indices, ring B = odd ones.
+                let mut edges = Vec::new();
+                for (ring, parity) in [(0usize, 0usize), (0, 1)].iter().zip([0usize, 1]) {
+                    let _ = ring;
+                    let members: Vec<usize> = (0..n).filter(|i| i % 2 == parity).collect();
+                    for w in 0..members.len() {
+                        if members.len() > 1 {
+                            edges.push((members[w], members[(w + 1) % members.len()]));
+                        }
+                    }
+                }
+                if n >= 2 {
+                    edges.push((0, 1)); // the single bridge
+                }
+                InitialTopology::new(ids, edges)
+            }
+        }
+    }
+}
+
+/// Identifier type re-exported for `generate_over`'s signature clarity.
+pub type Ident2 = rechord_id::Ident;
+
+fn permutation(n: usize, rng: &mut SmallRng) -> Vec<usize> {
+    use rand::seq::SliceRandom;
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(rng);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_weakly_connected() {
+        for kind in TopologyKind::ALL {
+            for n in [1usize, 2, 5, 33] {
+                let t = kind.generate(n, 42);
+                assert!(
+                    t.is_weakly_connected(),
+                    "{} with n={n} must be weakly connected",
+                    kind.name()
+                );
+                assert_eq!(t.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for kind in TopologyKind::ALL {
+            assert_eq!(kind.generate(12, 9), kind.generate(12, 9), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TopologyKind::Random.generate(20, 1);
+        let b = TopologyKind::Random.generate(20, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clique_has_all_pairs() {
+        let t = TopologyKind::Clique.generate(6, 3);
+        assert_eq!(t.edges.len(), 6 * 5);
+    }
+
+    #[test]
+    fn line_edge_counts() {
+        assert_eq!(TopologyKind::SortedLine.generate(10, 0).edges.len(), 9);
+        assert_eq!(TopologyKind::RandomLine.generate(10, 0).edges.len(), 9);
+    }
+
+    #[test]
+    fn double_ring_is_two_rings_plus_bridge() {
+        let t = TopologyKind::DoubleRingBridge.generate(10, 5);
+        // 5-cycles over each parity class: 5 + 5 edges, plus one bridge.
+        assert_eq!(t.edges.len(), 11);
+        assert!(t.is_weakly_connected());
+        // Without the bridge the graph splits in two.
+        let without: Vec<_> =
+            t.edges.iter().copied().filter(|&e| e != (0, 1)).collect();
+        let split = InitialTopology::new(t.ids.clone(), without);
+        assert!(!split.is_weakly_connected());
+    }
+
+    #[test]
+    fn star_connects_everyone_through_center() {
+        let t = TopologyKind::Star.generate(9, 8);
+        assert_eq!(t.edges.len(), 8);
+        assert!(t.is_weakly_connected());
+    }
+}

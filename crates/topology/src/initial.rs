@@ -1,0 +1,181 @@
+//! The protocol-agnostic description of an initial overlay state.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rechord_id::Ident;
+use std::collections::BTreeSet;
+
+/// An initial network state: `n` peers with distinct identifiers and a set
+/// of directed knowledge edges between them (peer `i` initially knows peer
+/// `j`). Protocols seed their own state representation from this (Re-Chord
+/// loads the edges into `N_u(u_0)`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InitialTopology {
+    /// Peer identifiers, ascending and distinct.
+    pub ids: Vec<Ident>,
+    /// Directed edges as index pairs into `ids` (`from != to`).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl InitialTopology {
+    /// Builds a topology from identifiers and edges, normalizing the
+    /// representation (sorts + dedups ids, remaps and dedups edges, drops
+    /// self-loops).
+    pub fn new(mut ids: Vec<Ident>, edges: Vec<(usize, usize)>) -> Self {
+        let original = ids.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        let remap = |i: usize| -> usize {
+            ids.binary_search(&original[i]).expect("id present after sort")
+        };
+        let set: BTreeSet<(usize, usize)> = edges
+            .into_iter()
+            .filter(|(a, b)| *a < original.len() && *b < original.len())
+            .map(|(a, b)| (remap(a), remap(b)))
+            .filter(|(a, b)| a != b)
+            .collect();
+        InitialTopology { ids, edges: set.into_iter().collect() }
+    }
+
+    /// Draws `n` distinct identifiers uniformly at random (the paper's
+    /// "chosen uniformly at random from (0,1)").
+    pub fn random_ids(n: usize, rng: &mut impl Rng) -> Vec<Ident> {
+        let mut set = BTreeSet::new();
+        while set.len() < n {
+            set.insert(rng.gen::<u64>());
+        }
+        set.into_iter().map(Ident::from_raw).collect()
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True iff there are no peers.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Is the topology weakly connected (undirected reachability over the
+    /// knowledge edges)? The precondition of Theorem 1.1.
+    pub fn is_weakly_connected(&self) -> bool {
+        let n = self.ids.len();
+        if n <= 1 {
+            return true;
+        }
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in &adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// A uniformly random spanning structure: each peer (in a random order,
+    /// after the first) gets one directed edge to or from a random earlier
+    /// peer. Guarantees weak connectivity with exactly `n - 1` edges.
+    pub fn random_attachment_tree(ids: Vec<Ident>, rng: &mut impl Rng) -> Self {
+        let n = ids.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let mut edges = Vec::with_capacity(n.saturating_sub(1));
+        for k in 1..n {
+            let parent = order[rng.gen_range(0..k)];
+            let child = order[k];
+            if rng.gen_bool(0.5) {
+                edges.push((parent, child));
+            } else {
+                edges.push((child, parent));
+            }
+        }
+        InitialTopology::new(ids, edges)
+    }
+
+    /// Adds `extra` random directed edges (no self-loops, dedup applied).
+    pub fn with_extra_random_edges(mut self, extra: usize, rng: &mut impl Rng) -> Self {
+        let n = self.ids.len();
+        if n < 2 {
+            return self;
+        }
+        let mut set: BTreeSet<(usize, usize)> = self.edges.iter().copied().collect();
+        let mut budget = extra;
+        let mut attempts = 0usize;
+        while budget > 0 && attempts < extra * 20 + 100 {
+            attempts += 1;
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b && set.insert((a, b)) {
+                budget -= 1;
+            }
+        }
+        self.edges = set.into_iter().collect();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalization_sorts_and_dedups() {
+        let a = Ident::from_raw(30);
+        let b = Ident::from_raw(10);
+        let t = InitialTopology::new(vec![a, b], vec![(0, 1), (0, 1), (1, 1)]);
+        assert_eq!(t.ids, vec![b, a]);
+        // (0,1) on the original indexing is (a -> b) = (index1 -> index0)
+        assert_eq!(t.edges, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn random_ids_distinct_and_sorted() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let ids = InitialTopology::random_ids(100, &mut rng);
+        assert_eq!(ids.len(), 100);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn attachment_tree_is_weakly_connected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for n in [1usize, 2, 3, 17, 64] {
+            let ids = InitialTopology::random_ids(n, &mut rng);
+            let t = InitialTopology::random_attachment_tree(ids, &mut rng);
+            assert!(t.is_weakly_connected(), "n={n}");
+            assert_eq!(t.edges.len(), n.saturating_sub(1));
+        }
+    }
+
+    #[test]
+    fn extra_edges_preserve_connectivity() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let ids = InitialTopology::random_ids(20, &mut rng);
+        let t = InitialTopology::random_attachment_tree(ids, &mut rng)
+            .with_extra_random_edges(15, &mut rng);
+        assert!(t.is_weakly_connected());
+        assert!(t.edges.len() >= 19);
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let ids: Vec<Ident> = (0..4).map(|i| Ident::from_raw(i * 100)).collect();
+        let t = InitialTopology::new(ids, vec![(0, 1), (2, 3)]);
+        assert!(!t.is_weakly_connected());
+    }
+}

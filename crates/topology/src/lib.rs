@@ -1,0 +1,23 @@
+//! Initial states and churn schedules for self-stabilization experiments.
+//!
+//! The paper's simulations (§5) start from "a random undirected weakly
+//! connected graph" whose vertices carry identifiers drawn uniformly at
+//! random from `(0,1)`. A self-stabilizing protocol, however, must recover
+//! from *any* weakly connected state, so this crate also generates the
+//! classic adversarial shapes (line in random identifier order, star,
+//! clique, binary tree, and the "two stable rings joined by one bridge edge"
+//! state that defeats classic Chord's stabilization).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod churn;
+mod generators;
+mod initial;
+
+pub use churn::{ChurnEvent, ChurnPlan};
+pub use generators::TopologyKind;
+pub use initial::InitialTopology;
+
+#[cfg(test)]
+mod proptests;

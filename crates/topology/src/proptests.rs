@@ -1,0 +1,54 @@
+//! Property tests for the topology generators.
+
+use crate::{InitialTopology, TopologyKind};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Every generated family, at every size, is weakly connected, has the
+    /// requested peer count, distinct sorted identifiers, and no self-loops.
+    #[test]
+    fn families_well_formed(kind_idx in 0usize..TopologyKind::ALL.len(),
+                            n in 1usize..40,
+                            seed in any::<u64>()) {
+        let kind = TopologyKind::ALL[kind_idx];
+        let t = kind.generate(n, seed);
+        prop_assert_eq!(t.len(), n);
+        prop_assert!(t.is_weakly_connected(), "{}", kind.name());
+        prop_assert!(t.ids.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(t.edges.iter().all(|(a, b)| a != b && *a < n && *b < n));
+    }
+
+    /// Normalization is idempotent: re-normalizing a generated topology
+    /// changes nothing.
+    #[test]
+    fn normalization_idempotent(n in 1usize..30, seed in any::<u64>()) {
+        let t = TopologyKind::Random.generate(n, seed);
+        let again = InitialTopology::new(t.ids.clone(), t.edges.clone());
+        prop_assert_eq!(t, again);
+    }
+
+    /// Extra edges never break connectivity and never shrink the edge set.
+    #[test]
+    fn extra_edges_monotone(n in 2usize..30, extra in 0usize..40, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ids = InitialTopology::random_ids(n, &mut rng);
+        let base = InitialTopology::random_attachment_tree(ids, &mut rng);
+        let base_edges = base.edges.len();
+        let grown = base.with_extra_random_edges(extra, &mut rng);
+        prop_assert!(grown.edges.len() >= base_edges);
+        prop_assert!(grown.is_weakly_connected());
+        // upper bound: n(n-1) possible directed edges
+        prop_assert!(grown.edges.len() <= n * (n - 1));
+    }
+
+    /// Identifier drawing yields exactly n distinct sorted values.
+    #[test]
+    fn random_ids_contract(n in 0usize..200, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ids = InitialTopology::random_ids(n, &mut rng);
+        prop_assert_eq!(ids.len(), n);
+        prop_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,70 @@
+//! Churn: peers join, leave gracefully, and crash against a live network;
+//! the self-stabilization rules absorb every event (paper §4: joins in
+//! O(log² n), leaves/crashes in O(log n) rounds).
+//!
+//! ```sh
+//! cargo run --release --example churn_recovery
+//! ```
+
+use rechord::core::network::ReChordNetwork;
+use rechord::id::hash_address;
+use rechord::topology::{ChurnEvent, ChurnPlan};
+
+fn main() {
+    let (mut net, boot) = ReChordNetwork::bootstrap_stable(24, 7, 1, 100_000);
+    println!(
+        "bootstrapped 24 peers to a stable overlay in {} rounds",
+        boot.rounds_to_stable()
+    );
+
+    // An isolated join: the new peer knows exactly one existing peer.
+    let joiner = hash_address(0x1001, 99);
+    let contact = net.real_ids()[5];
+    assert!(net.join_via(joiner, contact));
+    let report = net.run_until_stable(100_000);
+    println!(
+        "join of {} via {}: re-stabilized in {} rounds (cold start took {})",
+        joiner,
+        contact,
+        report.rounds_to_stable(),
+        boot.rounds_to_stable()
+    );
+
+    // An isolated crash: a peer vanishes with all its connections.
+    let victim = net.real_ids()[11];
+    assert!(net.crash(victim));
+    let report = net.run_until_stable(100_000);
+    println!("crash of {victim}: re-stabilized in {} rounds", report.rounds_to_stable());
+
+    // A graceful leave: the peer introduces its neighbors first.
+    let leaver = net.real_ids()[3];
+    assert!(net.graceful_leave(leaver));
+    let report = net.run_until_stable(100_000);
+    println!("graceful leave of {leaver}: re-stabilized in {} rounds", report.rounds_to_stable());
+
+    // A sustained mixed churn storm, re-stabilizing after every event.
+    let plan = ChurnPlan::mixed(10, 0.5, 4242);
+    let outcomes = net.run_churn_plan(&plan, 555, 100_000);
+    println!("\nmixed churn storm ({} events):", outcomes.len());
+    for (event, outcome) in plan.events.iter().zip(&outcomes) {
+        let what = match event {
+            ChurnEvent::Join { .. } => "join ",
+            ChurnEvent::GracefulLeave => "leave",
+            ChurnEvent::Crash => "crash",
+        };
+        println!(
+            "  {what} peer {}: {} rounds to stable",
+            outcome.peer,
+            outcome.report.rounds_to_stable()
+        );
+        assert!(outcome.report.converged);
+    }
+
+    let audit = net.audit();
+    assert!(audit.missing_unmarked.is_empty());
+    println!(
+        "\nfinal network: {} peers, audit clean = {}",
+        net.len(),
+        audit.missing_unmarked.is_empty() && audit.weakly_connected
+    );
+}

@@ -1,0 +1,46 @@
+//! **rechord** — a full reproduction of *"Re-Chord: A Self-stabilizing
+//! Chord Overlay Network"* (Kniesburges, Koutsopoulos, Scheideler,
+//! SPAA 2011).
+//!
+//! This facade re-exports the workspace crates under one roof. For a tour:
+//!
+//! * start with [`core::network::ReChordNetwork`] — build a network from any
+//!   weakly connected initial state and watch it self-stabilize;
+//! * [`topology`] generates the initial states (random, adversarial) and
+//!   churn plans;
+//! * [`routing`] runs Chord applications (greedy lookups, a DHT) on the
+//!   stabilized overlay;
+//! * [`chord`] is the classic-Chord baseline that the paper improves on;
+//! * [`analysis`] is the experiment harness behind the figure binaries in
+//!   `rechord-bench`.
+//!
+//! ```
+//! use rechord::core::network::ReChordNetwork;
+//! use rechord::topology::TopologyKind;
+//!
+//! // Any weakly connected state — here, peers strung on a random line.
+//! let initial = TopologyKind::RandomLine.generate(12, 42);
+//! let mut net = ReChordNetwork::from_topology(&initial, 1);
+//!
+//! // Run the six local rules until the global state is a fixpoint.
+//! let report = net.run_until_stable(100_000);
+//! assert!(report.converged);
+//!
+//! // The stable state is the Re-Chord topology: locally checkable,
+//! // containing Chord as a subgraph (Fact 2.1).
+//! let audit = net.audit();
+//! assert!(audit.missing_unmarked.is_empty());
+//! assert!(audit.projection_strongly_connected);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rechord_analysis as analysis;
+pub use rechord_chord as chord;
+pub use rechord_core as core;
+pub use rechord_graph as graph;
+pub use rechord_id as id;
+pub use rechord_routing as routing;
+pub use rechord_sim as sim;
+pub use rechord_topology as topology;

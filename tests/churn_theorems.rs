@@ -1,0 +1,118 @@
+//! Integration: Theorems 4.1 and 4.2 — isolated joins and leaves
+//! re-stabilize fast (polylog), far below cold-start convergence.
+
+use rechord::core::network::ReChordNetwork;
+use rechord::id::hash_address;
+use rechord::topology::ChurnPlan;
+
+const MAX_ROUNDS: u64 = 100_000;
+
+fn stable(n: usize, seed: u64) -> (ReChordNetwork, u64) {
+    let (net, report) = ReChordNetwork::bootstrap_stable(n, seed, 2, MAX_ROUNDS);
+    assert!(report.converged);
+    (net, report.rounds_to_stable())
+}
+
+#[test]
+fn join_restabilizes_within_polylog_envelope() {
+    for (n, seed) in [(16usize, 1u64), (32, 2), (64, 3)] {
+        let (mut net, _) = stable(n, seed);
+        let contact = net.real_ids()[n / 2];
+        let joiner = hash_address(seed ^ 0xabcdef, 42);
+        assert!(net.join_via(joiner, contact));
+        let report = net.run_until_stable(MAX_ROUNDS);
+        assert!(report.converged, "join at n={n}");
+        // Theorem 4.1: O(log² n) rounds. Generous constant envelope.
+        let log2 = (n as f64).log2();
+        let envelope = 6.0 * log2 * log2 + 20.0;
+        assert!(
+            (report.rounds_to_stable() as f64) < envelope,
+            "join at n={n} took {} rounds (> {envelope:.0})",
+            report.rounds_to_stable()
+        );
+        assert!(net.audit().missing_unmarked.is_empty());
+    }
+}
+
+#[test]
+fn leave_and_crash_restabilize_fast() {
+    for (n, seed) in [(16usize, 4u64), (32, 5), (64, 6)] {
+        let log2 = (n as f64).log2();
+        let envelope = 8.0 * log2 + 30.0; // Theorem 4.2: O(log n)
+
+        let (mut net, _) = stable(n, seed);
+        let leaver = net.real_ids()[1];
+        assert!(net.graceful_leave(leaver));
+        let report = net.run_until_stable(MAX_ROUNDS);
+        assert!(report.converged);
+        assert!(
+            (report.rounds_to_stable() as f64) < envelope,
+            "leave at n={n} took {} rounds",
+            report.rounds_to_stable()
+        );
+
+        let (mut net, _) = stable(n, seed ^ 0xff);
+        let victim = net.real_ids()[n / 3];
+        assert!(net.crash(victim));
+        let report = net.run_until_stable(MAX_ROUNDS);
+        assert!(report.converged);
+        assert!(
+            (report.rounds_to_stable() as f64) < envelope,
+            "crash at n={n} took {} rounds",
+            report.rounds_to_stable()
+        );
+        assert!(net.audit().missing_unmarked.is_empty());
+    }
+}
+
+#[test]
+fn churn_is_much_cheaper_than_cold_start() {
+    let (mut net, cold) = stable(64, 9);
+    let contact = net.real_ids()[0];
+    assert!(net.join_via(hash_address(1, 2), contact));
+    let rejoin = net.run_until_stable(MAX_ROUNDS);
+    assert!(rejoin.converged);
+    assert!(
+        rejoin.rounds_to_stable() <= cold,
+        "re-stabilization ({}) should not exceed cold start ({cold})",
+        rejoin.rounds_to_stable()
+    );
+}
+
+#[test]
+fn sustained_mixed_churn_stays_sound() {
+    let (mut net, _) = stable(20, 11);
+    let plan = ChurnPlan::mixed(12, 0.5, 999);
+    let outcomes = net.run_churn_plan(&plan, 31337, MAX_ROUNDS);
+    assert!(!outcomes.is_empty());
+    for o in &outcomes {
+        assert!(o.report.converged, "event on {} failed to re-stabilize", o.peer);
+    }
+    let audit = net.audit();
+    assert!(audit.missing_unmarked.is_empty());
+    assert!(audit.projection_strongly_connected);
+}
+
+#[test]
+fn network_survives_repeated_crashes_down_to_two_peers() {
+    let (mut net, _) = stable(10, 13);
+    while net.len() > 2 {
+        let victim = net.real_ids()[net.len() / 2];
+        assert!(net.crash(victim));
+        let report = net.run_until_stable(MAX_ROUNDS);
+        assert!(report.converged, "crash at size {}", net.len() + 1);
+        let audit = net.audit();
+        assert!(audit.weakly_connected, "disconnected at size {}", net.len());
+    }
+}
+
+#[test]
+fn join_into_two_peer_network() {
+    let (mut net, _) = stable(2, 17);
+    let contact = net.real_ids()[0];
+    assert!(net.join_via(hash_address(77, 78), contact));
+    let report = net.run_until_stable(MAX_ROUNDS);
+    assert!(report.converged);
+    assert_eq!(net.len(), 3);
+    assert!(net.audit().missing_unmarked.is_empty());
+}

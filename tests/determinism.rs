@@ -1,0 +1,62 @@
+//! Integration: reproducibility guarantees of the simulation substrate —
+//! runs are bit-identical across thread counts and repetitions.
+
+use rechord::core::network::ReChordNetwork;
+use rechord::topology::TopologyKind;
+
+#[test]
+fn full_stabilization_identical_across_thread_counts() {
+    let topo = TopologyKind::Random.generate(40, 0xd15c);
+    let mut nets: Vec<ReChordNetwork> =
+        [1usize, 2, 8].iter().map(|&t| ReChordNetwork::from_topology(&topo, t)).collect();
+    let reports: Vec<_> = nets.iter_mut().map(|n| n.run_until_stable(100_000)).collect();
+    for r in &reports {
+        assert!(r.converged);
+        assert_eq!(r.rounds, reports[0].rounds, "round counts must agree");
+        assert_eq!(r.total_messages, reports[0].total_messages, "message counts must agree");
+    }
+    let snapshots: Vec<_> = nets.iter().map(|n| n.snapshot()).collect();
+    assert_eq!(snapshots[0], snapshots[1]);
+    assert_eq!(snapshots[0], snapshots[2]);
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let run = || {
+        let topo = TopologyKind::Clique.generate(12, 7);
+        let mut net = ReChordNetwork::from_topology(&topo, 4);
+        let report = net.run_until_stable(100_000);
+        (report.rounds, report.total_messages, net.snapshot())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn per_round_trajectories_match() {
+    let topo = TopologyKind::BinaryTree.generate(18, 3);
+    let mut a = ReChordNetwork::from_topology(&topo, 1);
+    let mut b = ReChordNetwork::from_topology(&topo, 8);
+    for round in 0..60 {
+        let oa = a.round();
+        let ob = b.round();
+        assert_eq!(oa, ob, "round {round} outcome diverged");
+        assert_eq!(a.snapshot(), b.snapshot(), "round {round} state diverged");
+        if !oa.changed {
+            break;
+        }
+    }
+}
+
+#[test]
+fn generator_determinism_feeds_through() {
+    // Same seed → same topology → same stabilization → same metrics.
+    let m1 = {
+        let (net, _) = ReChordNetwork::bootstrap_stable(25, 424242, 3, 100_000);
+        net.metrics()
+    };
+    let m2 = {
+        let (net, _) = ReChordNetwork::bootstrap_stable(25, 424242, 1, 100_000);
+        net.metrics()
+    };
+    assert_eq!(m1, m2);
+}
