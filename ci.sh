@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: everything a PR must keep green.
+#
+# Usage: ./ci.sh
+#
+# The build environment is offline; all dependencies are intra-workspace
+# (including the vendored shims under vendor/), so --offline is safe and
+# catches any accidental registry dependency sneaking in.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+  echo
+  echo "==> $*"
+  "$@"
+}
+
+# 1. Release build of every workspace member (libs, bins).
+run cargo build --release --offline
+
+# 2. Full test suite: unit, integration, and doc tests.
+run cargo test -q --offline
+
+# 3. Bench and example targets must at least compile.
+run cargo check --workspace --all-targets --offline
+
+# 4. Rustdoc must build warning-free (broken intra-doc links are bugs).
+RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace --offline
+
+# 5. Lint wall: clippy clean across every target.
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo
+echo "ci.sh: all green"

@@ -52,11 +52,13 @@ pub struct ShapeReport {
     pub ranking: Vec<(&'static str, f64)>,
 }
 
+/// A labelled x-axis transform tried by [`classify_growth`].
+type Transform = (&'static str, fn(f64) -> f64);
+
 /// Candidate growth shapes for `y(n)`: linear, `n log n`, `n log² n`,
 /// `log n`, `log² n`, constant-ish (slope ~ 0 on linear).
 pub fn classify_growth(ns: &[f64], ys: &[f64]) -> ShapeReport {
-    let log2 = |x: f64| x.max(2.0).log2();
-    let transforms: [(&'static str, fn(f64) -> f64); 5] = [
+    let transforms: [Transform; 5] = [
         ("n", |x| x),
         ("n·log n", |x| x * x.max(2.0).log2()),
         ("n·log²n", |x| {
@@ -69,7 +71,6 @@ pub fn classify_growth(ns: &[f64], ys: &[f64]) -> ShapeReport {
             l * l
         }),
     ];
-    let _ = log2;
     let mut ranking: Vec<(&'static str, f64)> = transforms
         .iter()
         .map(|(label, t)| {

@@ -1,7 +1,6 @@
 //! Deterministic parallel Monte-Carlo trials.
 
-use crossbeam_utils::thread as cb_thread;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Runs `f(seed)` for every seed, sharded over `threads` OS threads, and
 /// returns the results **in seed order** (determinism: the schedule cannot
@@ -22,11 +21,11 @@ where
     // the output order is independent of the schedule.
     let next = Mutex::new(0usize);
     let slots: Vec<Mutex<Option<T>>> = seeds.iter().map(|_| Mutex::new(None)).collect();
-    cb_thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = {
-                    let mut guard = next.lock();
+                    let mut guard = next.lock().expect("index lock poisoned");
                     let idx = *guard;
                     if idx >= seeds.len() {
                         break;
@@ -35,15 +34,18 @@ where
                     idx
                 };
                 let result = f(seeds[idx]);
-                *slots[idx].lock() = Some(result);
+                *slots[idx].lock().expect("slot lock poisoned") = Some(result);
             });
         }
-    })
-    .expect("trial worker panicked");
+    });
 
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every trial produced a result"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock poisoned")
+                .expect("every trial produced a result")
+        })
         .collect()
 }
 

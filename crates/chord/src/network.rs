@@ -35,8 +35,8 @@ impl ChordNetwork {
     /// smallest peer additionally *knows* its true successor (a bridge, so
     /// the state is weakly connected). Classic stabilize/notify never uses
     /// the dormant bridge and never merges the cycles; Re-Chord, seeded with
-    /// the identical knowledge graph ([`InitialTopology::loopy_equivalent`]
-    /// — see `rechord_topology::TopologyKind::DoubleRingBridge`), recovers.
+    /// the identical knowledge graph
+    /// ([`rechord_topology::TopologyKind::DoubleRingBridge`]), recovers.
     pub fn loopy_double_ring(ids: &[Ident], threads: usize) -> Self {
         let mut sorted: Vec<Ident> = ids.to_vec();
         sorted.sort_unstable();
@@ -73,7 +73,7 @@ impl ChordNetwork {
         let mut cycle_reps: BTreeSet<Ident> = BTreeSet::new();
         let succ: BTreeMap<Ident, Option<Ident>> =
             self.engine.iter().map(|(id, st)| (id, st.successor)).collect();
-        for (&start, _) in &succ {
+        for &start in succ.keys() {
             // follow successor pointers until a repeat; the cycle is
             // identified by its minimal member.
             let mut seen: Vec<Ident> = Vec::new();

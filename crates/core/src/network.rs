@@ -21,6 +21,19 @@ pub struct ReChordNetwork {
 impl ReChordNetwork {
     /// Builds a network whose peers initially know exactly the edges of
     /// `topology` (loaded into `N_u(u_0)`).
+    ///
+    /// ```
+    /// use rechord_core::network::ReChordNetwork;
+    /// use rechord_topology::TopologyKind;
+    ///
+    /// let topo = TopologyKind::SortedLine.generate(8, 7);
+    /// let mut net = ReChordNetwork::from_topology(&topo, 1);
+    /// assert_eq!(net.len(), 8);
+    ///
+    /// let report = net.run_until_stable(10_000);
+    /// assert!(report.converged);
+    /// assert!(net.audit().missing_unmarked.is_empty());
+    /// ```
     pub fn from_topology(topology: &InitialTopology, threads: usize) -> Self {
         Self::from_topology_with_mask(topology, threads, crate::ablation::RuleMask::ALL)
     }

@@ -85,12 +85,12 @@ fn neighbors_to_inform(
             // y > u_i ∨ v < y < u_i, and v improves on y's register
             Side::Left => {
                 (y > ui || (v < y && y < ui))
-                    && ctx.observed_rl(y).map_or(true, |rly| v > rly)
+                    && ctx.observed_rl(y).is_none_or(|rly| v > rly)
             }
             // y < u_i ∨ v > y > u_i
             Side::Right => {
                 (y < ui || (v > y && y > ui))
-                    && ctx.observed_rr(y).map_or(true, |rry| v < rry)
+                    && ctx.observed_rr(y).is_none_or(|rry| v < rry)
             }
         })
         .collect()
@@ -117,7 +117,7 @@ mod tests {
             st.level_mut(0).unwrap().nu.insert(n);
         }
         st.level_mut(0).unwrap().nu.insert(NodeRef::virtual_node(Ident::from_f64(0.2), 2));
-        run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        run_rule(me, &mut st, &[], super::apply);
         let vs = st.level(0).unwrap();
         assert_eq!(vs.rl, Some(real(0.4)), "closest left real");
         assert_eq!(vs.rr, Some(real(0.7)), "closest right real");
@@ -132,7 +132,7 @@ mod tests {
         let mut st = PeerState::new();
         st.levels.entry(1).or_default(); // u_1 at 0.0
         st.level_mut(1).unwrap().nu.insert(real(0.45));
-        run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        run_rule(me, &mut st, &[], super::apply);
         assert_eq!(st.level(0).unwrap().rl, Some(real(0.45)));
     }
 
@@ -149,7 +149,7 @@ mod tests {
         for n in [v, between, above, below] {
             st.level_mut(0).unwrap().nu.insert(n);
         }
-        let msgs = run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st, &[], super::apply);
         let left_informs: Vec<&Msg> = msgs
             .iter()
             .filter(|m| m.kind == EdgeKind::Unmarked && m.edge == v)
@@ -171,7 +171,7 @@ mod tests {
         let mut st = PeerState::new();
         st.level_mut(0).unwrap().nu.insert(v);
         st.level_mut(0).unwrap().nu.insert(NodeRef::real(y_id));
-        let msgs = run_rule(me, &mut st, &[(y_id, y_state)], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st, &[(y_id, y_state)], super::apply);
         assert!(
             !msgs.iter().any(|m| m.at == NodeRef::real(y_id) && m.edge == v),
             "y already knows a better-or-equal rl"
@@ -184,7 +184,7 @@ mod tests {
         let mut st = PeerState::new();
         st.level_mut(0).unwrap().rl = Some(real(0.2)); // garbage from initial state
         st.level_mut(0).unwrap().nu.insert(real(0.9)); // only a right real known
-        run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        run_rule(me, &mut st, &[], super::apply);
         let vs = st.level(0).unwrap();
         assert_eq!(vs.rl, None, "no left real in knowledge → cleared");
         assert_eq!(vs.rr, Some(real(0.9)));
@@ -196,7 +196,7 @@ mod tests {
         let me = Ident::from_f64(0.5);
         let mut st = PeerState::new();
         st.levels.entry(2).or_default(); // u_2 at 0.75
-        run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        run_rule(me, &mut st, &[], super::apply);
         assert_eq!(st.level(2).unwrap().rl, Some(NodeRef::real(me)));
     }
 }

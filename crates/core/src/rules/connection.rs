@@ -103,14 +103,14 @@ mod tests {
         let mut st = PeerState::new();
         st.levels.entry(1).or_default();
         st.levels.entry(2).or_default();
-        run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        run_rule(me, &mut st, &[], super::apply);
         // (u_1 → u_0) and (u_0 → u_2) are created; with empty knowledge the
         // forwarding immediately dissolves them into backward unmarked sends,
         // removing them from nc again — so check the messages instead.
         let mut st2 = PeerState::new();
         st2.levels.entry(1).or_default();
         st2.levels.entry(2).or_default();
-        let msgs = run_rule(me, &mut st2, &[], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st2, &[], super::apply);
         let backward: Vec<(NodeRef, NodeRef)> = msgs
             .iter()
             .filter(|m| m.kind == EdgeKind::Unmarked)
@@ -131,7 +131,7 @@ mod tests {
         let mut st = PeerState::new();
         st.level_mut(0).unwrap().nc.insert(real(0.9));
         st.level_mut(0).unwrap().nu.insert(real(0.5));
-        let msgs = run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st, &[], super::apply);
         let hops: Vec<(NodeRef, NodeRef)> = msgs
             .iter()
             .filter(|m| m.kind == EdgeKind::Connection)
@@ -149,7 +149,7 @@ mod tests {
         let mut st = PeerState::new();
         st.level_mut(0).unwrap().nc.insert(real(0.9));
         st.level_mut(0).unwrap().nu.insert(real(0.2));
-        let msgs = run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st, &[], super::apply);
         let m: Vec<&Msg> = msgs.iter().filter(|m| m.kind == EdgeKind::Unmarked).collect();
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].at, real(0.9));
@@ -167,7 +167,7 @@ mod tests {
         st.levels.entry(1).or_default(); // u_1 at 0.6
         st.level_mut(1).unwrap().nu.insert(real(0.7));
         st.level_mut(0).unwrap().nc.insert(real(0.9));
-        let msgs = run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st, &[], super::apply);
         let hops: Vec<(NodeRef, NodeRef)> = msgs
             .iter()
             .filter(|m| m.kind == EdgeKind::Connection)
@@ -182,7 +182,7 @@ mod tests {
         let me = Ident::from_f64(0.4);
         let mut st = PeerState::new();
         st.level_mut(0).unwrap().nc.insert(NodeRef::real(me));
-        run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        run_rule(me, &mut st, &[], super::apply);
         assert!(st.level(0).unwrap().nc.is_empty());
     }
 
@@ -190,7 +190,7 @@ mod tests {
     fn single_level_peer_creates_no_connection_edges() {
         let me = Ident::from_f64(0.4);
         let mut st = PeerState::new();
-        let msgs = run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st, &[], super::apply);
         assert!(msgs.is_empty());
         assert!(st.level(0).unwrap().nc.is_empty());
     }

@@ -4,7 +4,7 @@
 //! > and create edges `(w_l, w_{l+1})` [forwarding — the edge's start moves
 //! > to a node closer to its endpoint]. Sort all `w > u_i` ascending
 //! > likewise. Create backward edges from the closest neighbors to `u_i`
-//! > [mirroring]. Note: when the mirroring rule is executed, `u_i` has only
+//! > \[mirroring\]. Note: when the mirroring rule is executed, `u_i` has only
 //! > its two closest (left and right) neighbors, by rule 3.
 //!
 //! Formal actions:
@@ -109,7 +109,7 @@ mod tests {
         for n in [real(0.2), real(0.5), real(0.7)] {
             st.level_mut(0).unwrap().nu.insert(n);
         }
-        let msgs = run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st, &[], super::apply);
         let sent = unmarked_msgs(&msgs);
         assert!(sent.contains(&(real(0.7), real(0.5))));
         assert!(sent.contains(&(real(0.5), real(0.2))));
@@ -125,7 +125,7 @@ mod tests {
         for n in [real(0.3), real(0.6), real(0.8)] {
             st.level_mut(0).unwrap().nu.insert(n);
         }
-        let msgs = run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st, &[], super::apply);
         let sent = unmarked_msgs(&msgs);
         assert!(sent.contains(&(real(0.3), real(0.6))));
         assert!(sent.contains(&(real(0.6), real(0.8))));
@@ -140,7 +140,7 @@ mod tests {
         for n in [real(0.2), real(0.4), real(0.7), real(0.9)] {
             st.level_mut(0).unwrap().nu.insert(n);
         }
-        let msgs = run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st, &[], super::apply);
         let ui = NodeRef::real(me);
         let mirrors: Vec<NodeRef> =
             msgs.iter().filter(|m| m.edge == ui).map(|m| m.at).collect();
@@ -161,7 +161,7 @@ mod tests {
         st.level_mut(0).unwrap().nu.insert(rl);
         st.level_mut(0).unwrap().nu.insert(closer);
         st.level_mut(0).unwrap().rl = Some(rl);
-        run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        run_rule(me, &mut st, &[], super::apply);
         let nu = &st.level(0).unwrap().nu;
         assert!(nu.contains(&closer), "closest left kept");
         assert!(nu.contains(&rl), "rl restored by mirroring step");
@@ -180,7 +180,7 @@ mod tests {
         }
         vs.rl = Some(rl);
         vs.rr = Some(rr);
-        let msgs = run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st, &[], super::apply);
         let nu = &st.level(0).unwrap().nu;
         assert_eq!(nu.len(), 4, "cl, cr, rl, rr survive the round");
         assert!(nu.contains(&rl) && nu.contains(&cl) && nu.contains(&cr) && nu.contains(&rr));
@@ -196,7 +196,7 @@ mod tests {
         let me = Ident::from_f64(0.5);
         let mut st = PeerState::new();
         st.level_mut(0).unwrap().nu.insert(real(0.4));
-        let msgs = run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st, &[], super::apply);
         assert!(st.level(0).unwrap().nu.contains(&real(0.4)));
         // only the mirror message is emitted
         assert_eq!(msgs.len(), 1);

@@ -79,7 +79,7 @@ mod tests {
         // between: 0.05 < 0.1 < 0.6, so the edge moves to u_1.
         let w = NodeRef::real(Ident::from_f64(0.05));
         st.level_mut(0).unwrap().nu.insert(w);
-        let msgs = run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st, &[], super::apply);
         assert!(msgs.is_empty(), "rule 2 is local to the peer");
         assert!(!st.level(0).unwrap().nu.contains(&w));
         assert!(st.level(1).unwrap().nu.contains(&w));
@@ -93,7 +93,7 @@ mod tests {
         // 0.95 > 0.85 > 0.6.
         let w = NodeRef::real(Ident::from_f64(0.95));
         st.level_mut(0).unwrap().nu.insert(w);
-        run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        run_rule(me, &mut st, &[], super::apply);
         assert!(!st.level(0).unwrap().nu.contains(&w));
         assert!(st.level(2).unwrap().nu.contains(&w));
     }
@@ -107,7 +107,7 @@ mod tests {
         let mut st = peer_with_levels(me, &[1, 2, 3]);
         let w = NodeRef::real(Ident::from_f64(0.3));
         st.level_mut(0).unwrap().nu.insert(w);
-        run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        run_rule(me, &mut st, &[], super::apply);
         assert!(st.level(1).unwrap().nu.contains(&w));
         assert!(!st.level(2).unwrap().nu.contains(&w));
         assert!(!st.level(3).unwrap().nu.contains(&w));
@@ -121,7 +121,7 @@ mod tests {
         let w = NodeRef::real(Ident::from_f64(0.3));
         st.level_mut(0).unwrap().nu.insert(w);
         let before = st.clone();
-        run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        run_rule(me, &mut st, &[], super::apply);
         assert_eq!(st, before);
     }
 
@@ -133,7 +133,7 @@ mod tests {
         let w = NodeRef::real(Ident::from_f64(0.05));
         st.level_mut(1).unwrap().nu.insert(w);
         let before = st.clone();
-        run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        run_rule(me, &mut st, &[], super::apply);
         assert_eq!(st, before);
     }
 
@@ -145,7 +145,7 @@ mod tests {
         st.level_mut(0).unwrap().nr.insert(w);
         st.level_mut(0).unwrap().nc.insert(w);
         let before = st.clone();
-        run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        run_rule(me, &mut st, &[], super::apply);
         assert_eq!(st, before, "rule 2 only reads N_u");
     }
 }

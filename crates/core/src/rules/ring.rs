@@ -157,7 +157,7 @@ mod tests {
         // only right neighbors known: u believes it may be the minimum
         st.level_mut(0).unwrap().nu.insert(real(0.4));
         st.level_mut(0).unwrap().nu.insert(real(0.8));
-        let msgs = run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st, &[], super::apply);
         assert!(
             ring_msgs(&msgs).contains(&(real(0.8), NodeRef::real(me))),
             "largest known node is asked to hold a ring edge to u"
@@ -170,7 +170,7 @@ mod tests {
         let mut st = PeerState::new();
         st.level_mut(0).unwrap().nu.insert(real(0.2));
         st.level_mut(0).unwrap().nu.insert(real(0.5));
-        let msgs = run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st, &[], super::apply);
         assert!(ring_msgs(&msgs).contains(&(real(0.2), NodeRef::real(me))));
     }
 
@@ -183,7 +183,7 @@ mod tests {
         st.level_mut(0).unwrap().nr.insert(real(0.7));
         st.level_mut(0).unwrap().nu.insert(real(0.9));
         st.level_mut(0).unwrap().nu.insert(real(0.4)); // keep left side closed
-        let msgs = run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st, &[], super::apply);
         let unmarked: Vec<(NodeRef, NodeRef)> = msgs
             .iter()
             .filter(|m| m.kind == EdgeKind::Unmarked)
@@ -202,7 +202,7 @@ mod tests {
         let mut st = PeerState::new();
         st.level_mut(0).unwrap().nr.insert(real(0.9));
         st.level_mut(0).unwrap().nu.insert(real(0.2));
-        let msgs = run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st, &[], super::apply);
         assert!(ring_msgs(&msgs).contains(&(real(0.2), real(0.9))));
         assert!(st.level(0).unwrap().nr.is_empty());
     }
@@ -215,7 +215,7 @@ mod tests {
         let mut st = PeerState::new();
         st.level_mut(0).unwrap().nr.insert(real(0.9));
         st.level_mut(0).unwrap().nu.insert(real(0.9)); // knows w as neighbor too
-        run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        run_rule(me, &mut st, &[], super::apply);
         assert!(st.level(0).unwrap().nr.contains(&real(0.9)), "held");
     }
 
@@ -224,7 +224,7 @@ mod tests {
         let me = Ident::from_f64(0.3);
         let mut st = PeerState::new();
         st.level_mut(0).unwrap().nr.insert(NodeRef::real(me));
-        run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        run_rule(me, &mut st, &[], super::apply);
         assert!(st.level(0).unwrap().nr.is_empty());
     }
 
@@ -233,7 +233,7 @@ mod tests {
         // A peer that knows nobody: max known = min known = itself.
         let me = Ident::from_f64(0.3);
         let mut st = PeerState::new();
-        let msgs = run_rule(me, &mut st, &[], |ctx| super::apply(ctx));
+        let msgs = run_rule(me, &mut st, &[], super::apply);
         assert!(ring_msgs(&msgs).is_empty());
     }
 

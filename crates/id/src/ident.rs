@@ -80,6 +80,16 @@ impl Ident {
     }
 
     /// Ring distance: the shorter of the two ways around.
+    ///
+    /// ```
+    /// use rechord_id::Ident;
+    ///
+    /// let a = Ident::from_raw(10);
+    /// let b = Ident::from_raw(u64::MAX - 9); // 20 steps counter-clockwise
+    /// assert_eq!(a.dist_ring(b), 20);
+    /// assert_eq!(a.dist_ring(b), b.dist_ring(a));
+    /// assert_eq!(a.dist_ring(a), 0);
+    /// ```
     #[inline]
     pub fn dist_ring(self, to: Ident) -> u64 {
         self.dist_cw(to).min(self.dist_ccw(to))

@@ -2,7 +2,6 @@
 
 use crate::{Outbox, SyncProtocol};
 use crate::report::{FixpointReport, RoundStats, Trace};
-use crossbeam_utils::thread as cb_thread;
 use rechord_id::Ident;
 
 /// Read-only access to the previous round's global state (the snapshot
@@ -286,7 +285,7 @@ impl<P: SyncProtocol> Engine<P> {
         let ids = &self.ids;
         let active_flags: Vec<bool> = ids.iter().map(|&id| active(id)).collect();
         let mut buffers: Vec<Vec<(Ident, P::Msg)>> = Vec::with_capacity(threads);
-        cb_thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for ((id_chunk, st_chunk), fl_chunk) in ids
                 .chunks(chunk)
@@ -294,7 +293,7 @@ impl<P: SyncProtocol> Engine<P> {
                 .zip(active_flags.chunks(chunk))
             {
                 let view = RoundView { ids, states: prev };
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut out = Outbox::new();
                     for ((id, st), &fire) in id_chunk.iter().zip(st_chunk.iter_mut()).zip(fl_chunk) {
                         if fire {
@@ -307,8 +306,7 @@ impl<P: SyncProtocol> Engine<P> {
             for h in handles {
                 buffers.push(h.join().expect("simulation worker panicked"));
             }
-        })
-        .expect("scoped thread pool failed");
+        });
         buffers.into_iter().flatten().collect()
     }
 }
@@ -463,7 +461,7 @@ mod tests {
     fn partial_schedule_parallel_matches_serial() {
         let mut a = engine_with(23, 1);
         let mut b = engine_with(23, 8);
-        let pick = |id: Ident| id.raw() % 3 != 0;
+        let pick = |id: Ident| !id.raw().is_multiple_of(3);
         for _ in 0..15 {
             a.round_with_schedule(pick);
             b.round_with_schedule(pick);

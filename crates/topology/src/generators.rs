@@ -8,6 +8,17 @@ use rand::{Rng, SeedableRng};
 ///
 /// `Random` is the paper's §5 workload; the rest are adversarial weakly
 /// connected shapes a self-stabilizing protocol must also recover from.
+///
+/// ```
+/// use rechord_topology::TopologyKind;
+///
+/// let topo = TopologyKind::Random.generate(16, 42);
+/// assert_eq!(topo.ids.len(), 16);
+/// // Generation is deterministic in the seed…
+/// assert_eq!(topo, TopologyKind::Random.generate(16, 42));
+/// // …and every family produces a weakly connected state.
+/// assert!(!topo.edges.is_empty());
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TopologyKind {
     /// Random attachment tree plus `~n/2` extra random directed edges — the

@@ -1,0 +1,221 @@
+//! Minimal, API-compatible subset of `criterion` 0.5.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! lets the workspace's `harness = false` bench targets compile and run:
+//! it times each benchmark with `std::time::Instant` over a short,
+//! time-bounded sampling loop and prints `ns/iter` to stdout. There is no
+//! statistical analysis, HTML report, or plotting — swap in the real crate
+//! for publishable numbers.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does), benchmark
+//! bodies are skipped entirely so test runs stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measures one benchmark body via [`Bencher::iter`].
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by the `iter` calls.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f` in a sampling loop and records the mean cost per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call, then sample until the time budget is spent.
+        let _ = f();
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < budget {
+            let _ = std::hint::black_box(f());
+            iters += 1;
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    /// Like [`Bencher::iter`], excluding per-iteration `setup` time from the
+    /// measurement (setup cost is subtracted out approximately by timing
+    /// only the `f` calls).
+    pub fn iter_with_setup<S, O, Setup, F>(&mut self, mut setup: Setup, mut f: F)
+    where
+        Setup: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        let _ = f(setup());
+        let budget = Duration::from_millis(200);
+        let loop_start = Instant::now();
+        let mut measured = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while loop_start.elapsed() < budget {
+            let input = setup();
+            let timer = Instant::now();
+            let _ = std::hint::black_box(f(input));
+            measured += timer.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = measured.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// A benchmark identifier: `group/function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Per-iteration work declared for throughput reporting.
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's sampling is time-bounded.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, self.throughput.as_ref(), f);
+        self
+    }
+
+    /// Runs one benchmark that receives `input` by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, self.throughput.as_ref(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` runs bench executables with `--test`;
+        // a plain `cargo bench` passes `--bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, None, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, name: &str, throughput: Option<&Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.test_mode {
+            println!("{name}: skipped (--test)");
+            return;
+        }
+        let mut bencher = Bencher { mean_ns: 0.0 };
+        f(&mut bencher);
+        match throughput {
+            Some(Throughput::Elements(n)) if bencher.mean_ns > 0.0 => {
+                let per_sec = *n as f64 * 1e9 / bencher.mean_ns;
+                println!("{name}: {:.1} ns/iter ({per_sec:.0} elem/s)", bencher.mean_ns);
+            }
+            Some(Throughput::Bytes(n)) if bencher.mean_ns > 0.0 => {
+                let per_sec = *n as f64 * 1e9 / bencher.mean_ns;
+                println!("{name}: {:.1} ns/iter ({per_sec:.0} B/s)", bencher.mean_ns);
+            }
+            _ => println!("{name}: {:.1} ns/iter", bencher.mean_ns),
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,644 @@
+//! Minimal, deterministic, API-compatible subset of `proptest` 1.x.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! implements the surface the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`] / [`prop_oneof!`],
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, range and
+//!   tuple strategies, [`strategy::Just`], [`arbitrary::any`],
+//! * [`collection::vec`] / [`collection::btree_set`], [`option::of`],
+//!   [`sample::Index`], and [`bool::ANY`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics
+//! with the generated inputs' debug output left to the assertion message.
+//! Generation is seeded deterministically per case index, so failures
+//! reproduce exactly across runs.
+
+#![forbid(unsafe_code)]
+
+/// Test-runner configuration and the deterministic generation RNG.
+pub mod test_runner {
+    /// Marker returned by [`crate::prop_assume!`] when a case is rejected.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Rejected;
+
+    /// Runner configuration (the shim honours `cases` only).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted cases each property must pass.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` accepted cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 32 }
+        }
+    }
+
+    /// The prelude re-exports this under proptest's public alias.
+    pub type ProptestConfig = Config;
+
+    /// Deterministic SplitMix64 stream used for all value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator fully determined by `seed` (one per test case).
+        pub fn deterministic(seed: u64) -> Self {
+            TestRng { state: seed.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+
+        /// The next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform index in `0..bound` (`bound` must be non-zero).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and primitive strategy
+/// combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use core::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// The shim's strategies generate directly from a [`TestRng`]; there is
+    /// no intermediate value tree and therefore no shrinking.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map: f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, flat_map: f }
+        }
+
+        /// Type-erases this strategy (used by [`crate::prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (**self).new_value(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        flat_map: F,
+    }
+
+    impl<S, F, T> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+        fn new_value(&self, rng: &mut TestRng) -> T::Value {
+            (self.flat_map)(self.source.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among equally weighted alternatives
+    /// (the expansion target of [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    (self.start as u64).wrapping_add(rng.below(span)) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as u64).wrapping_add(rng.below(span)) as $t
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as u64;
+                    let span = (<$t>::MAX as u64).wrapping_sub(lo).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span)) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// [`any`](arbitrary::any) and the [`Arbitrary`](arbitrary::Arbitrary)
+/// trait for default strategies.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::sample::Index::from_raw(rng.next_u64())
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy for any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// A half-open range of collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.hi <= self.lo + 1 {
+                self.lo
+            } else {
+                self.lo + rng.below((self.hi - self.lo) as u64) as usize
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// See [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose length lies in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            // Duplicates don't grow the set; cap retries so a too-small
+            // element domain degrades to a smaller set instead of hanging.
+            let mut budget = 50 * n + 100;
+            while set.len() < n && budget > 0 {
+                set.insert(self.element.new_value(rng));
+                budget -= 1;
+            }
+            set
+        }
+    }
+
+    /// A strategy for `BTreeSet`s with `size` elements drawn from `element`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+}
+
+/// `Option` strategies (`prop::option`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+
+    /// A strategy yielding `None` or `Some(inner)` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    /// An abstract index into a not-yet-known-length sequence.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub struct Index {
+        raw: u64,
+    }
+
+    impl Index {
+        /// Builds an index from raw uniform bits.
+        pub fn from_raw(raw: u64) -> Self {
+            Index { raw }
+        }
+
+        /// Projects onto `0..len` (`len` must be non-zero).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            ((self.raw as u128 * len as u128) >> 64) as usize
+        }
+
+        /// A uniformly indexed element of `slice`.
+        pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+            &slice[self.index(slice.len())]
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// A strategy for either boolean, equally likely.
+    pub const ANY: AnyBool = AnyBool;
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Module-tree re-exports, mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Rejects the current case unless `cond` holds (the runner draws a
+/// replacement case; rejections don't count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $fmt:tt)* $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Like `assert!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::core::assert!($($args)*) };
+}
+
+/// Like `assert_eq!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::core::assert_eq!($($args)*) };
+}
+
+/// Like `assert_ne!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::core::assert_ne!($($args)*) };
+}
+
+/// Uniform choice among alternative strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(binding in strategy, ...) { body }`
+/// becomes a `#[test]` that draws inputs and runs the body for each case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!{ @munch($config) $($rest)* }
+    };
+    (@munch($config:expr)) => {};
+    (@munch($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let cases = config.cases.max(1);
+            let mut accepted: u32 = 0;
+            let mut attempt: u64 = 0;
+            let max_attempts: u64 = (cases as u64) * 20 + 100;
+            while accepted < cases {
+                attempt += 1;
+                ::core::assert!(
+                    attempt <= max_attempts,
+                    "proptest: too many rejected cases ({} accepted of {} wanted)",
+                    accepted,
+                    cases,
+                );
+                let mut prop_rng = $crate::test_runner::TestRng::deterministic(attempt);
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strategy), &mut prop_rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::core::result::Result<(), $crate::test_runner::Rejected> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if outcome.is_ok() {
+                    accepted += 1;
+                }
+            }
+        }
+        $crate::proptest!{ @munch($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{ @munch($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in 0u8..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn mapped_strategies_apply(x in evens()) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn assume_filters(x in 0u64..100) {
+            prop_assume!(x % 3 == 0);
+            prop_assert_eq!(x % 3, 0);
+        }
+
+        #[test]
+        fn collections_respect_sizes(v in prop::collection::vec(any::<u64>(), 2..5),
+                                     s in prop::collection::btree_set(0u8..200, 3)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert_eq!(s.len(), 3);
+        }
+
+        #[test]
+        fn oneof_and_index(k in prop_oneof![Just(1u8), Just(2u8)],
+                           idx in any::<prop::sample::Index>()) {
+            prop_assert!(k == 1 || k == 2);
+            prop_assert!(idx.index(10) < 10);
+        }
+
+        #[test]
+        fn options_both_arms(o in prop::option::of(0u32..10)) {
+            if let Some(v) = o {
+                prop_assert!(v < 10);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_is_honoured(x in any::<bool>()) {
+            let _ = x;
+        }
+    }
+}
