@@ -24,6 +24,11 @@ run cargo test -q --offline
 # 3. Bench and example targets must at least compile.
 run cargo check --workspace --all-targets --offline
 
+# 3b. The traffic subsystem smoke test: a tiny deterministic run of all four
+#     workload scenarios, with built-in SLO assertions (availability dips
+#     under churn and recovers to 100% after re-stabilization).
+run cargo run --release --offline --bin traffic -- --smoke
+
 # 4. Rustdoc must build warning-free (broken intra-doc links are bugs).
 RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace --offline
 

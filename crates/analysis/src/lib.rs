@@ -11,11 +11,13 @@
 #![warn(missing_docs)]
 
 pub mod fit;
+mod hist;
 mod plot;
 mod stats;
 mod table;
 mod trials;
 
+pub use hist::Histogram;
 pub use plot::{AsciiChart, Series};
 pub use stats::Stats;
 pub use table::{write_csv, Table};

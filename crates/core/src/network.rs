@@ -108,6 +108,14 @@ impl ReChordNetwork {
         self.engine.round()
     }
 
+    /// Executes one round and reports which peers' states changed — the
+    /// co-simulation hook for drivers that keep derived views (routing
+    /// tables, workload state) current between rounds without re-reading
+    /// the whole network.
+    pub fn round_dirty(&mut self) -> (RoundOutcome, Vec<Ident>) {
+        self.engine.round_dirty_with_schedule(|_| true)
+    }
+
     /// Runs until the global state is a fixpoint (the paper's stable state)
     /// or `max_rounds` elapse.
     pub fn run_until_stable(&mut self, max_rounds: u64) -> FixpointReport {

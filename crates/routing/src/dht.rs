@@ -234,6 +234,49 @@ mod tests {
     }
 
     #[test]
+    fn replication_survives_minority_crash_churn() {
+        // End-to-end survivability: acknowledge writes at replication 2,
+        // crash-churn a non-adjacent minority of peers, let the overlay
+        // re-stabilize, rebuild the application view — and every
+        // acknowledged key must still be readable (the crashed primaries'
+        // keys through their successor replicas, including the keys that
+        // wrap past the largest peer onto the smallest).
+        let (mut net, report) = ReChordNetwork::bootstrap_stable(12, 37, 1, 50_000);
+        assert!(report.converged);
+        let space = IdSpace::new(37);
+        let mut kv = KvStore::with_replication(RoutingTable::from_network(&net), space, 2);
+        let via = kv.table().peers()[0];
+        let mut acked = Vec::new();
+        for key in 0..150u64 {
+            let out = kv.put(via, key, format!("v{key}")).unwrap();
+            assert!(out.routed, "stable overlay must route put {key}");
+            acked.push(key);
+        }
+        // Every fourth peer crashes: 3 of 12, no two ring-adjacent, so each
+        // key keeps at least one of its two replicas.
+        let peers = kv.table().peers().to_vec();
+        let victims: Vec<Ident> = peers.iter().copied().step_by(4).collect();
+        assert_eq!(victims.len(), 3);
+        for v in &victims {
+            assert!(net.crash(*v));
+        }
+        let report = net.run_until_stable(50_000);
+        assert!(report.converged, "survivors must re-stabilize");
+        kv.rebuild(RoutingTable::from_network(&net));
+        assert_eq!(kv.table().peers().len(), 9);
+        let reader = kv.table().peers()[1];
+        for key in acked {
+            let (val, out) = kv.get(reader, key).unwrap();
+            assert!(out.routed, "key {key} must route after rebuild");
+            assert_eq!(
+                val,
+                Some(format!("v{key}").as_str()),
+                "acknowledged key {key} lost in the crash churn"
+            );
+        }
+    }
+
+    #[test]
     fn replication_clamps_to_population() {
         let base = store(3, 31);
         let kv = KvStore::with_replication(base.table().clone(), IdSpace::new(31), 10);

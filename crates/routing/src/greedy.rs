@@ -14,13 +14,17 @@
 //! responsible peer is the closest *real* node at-or-after the key among
 //! the peer's knowledge (its `rr`-edge by construction in a stable state).
 
+use rechord_core::state::PeerState;
 use rechord_graph::{EdgeKind, NodeRef, OverlayGraph};
 use rechord_id::Ident;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// A frozen routing view: every peer's node-level knowledge (all unmarked
-/// and ring out-edges of all its simulated nodes, plus its own nodes).
-#[derive(Clone, Debug, Default)]
+/// A routing view: every peer's node-level knowledge (all unmarked and ring
+/// out-edges of all its simulated nodes, plus its own nodes). Built from an
+/// overlay snapshot in one shot, or kept current against a live network with
+/// the incremental [`RoutingTable::refresh_peer`] /
+/// [`RoutingTable::refresh_dirty`] family (no graph materialization).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RoutingTable {
     peers: Vec<Ident>,
     knowledge: BTreeMap<Ident, BTreeSet<NodeRef>>,
@@ -73,6 +77,83 @@ impl RoutingTable {
         self.knowledge.get(&peer)
     }
 
+    /// One peer's routing knowledge computed straight from its live protocol
+    /// state: its own simulated nodes plus the targets of its unmarked and
+    /// ring out-edges (connection edges do not participate in routing).
+    fn knowledge_from_state(peer: Ident, st: &PeerState) -> BTreeSet<NodeRef> {
+        let mut k = BTreeSet::new();
+        for (&lvl, vs) in &st.levels {
+            k.insert(PeerState::node_ref(peer, lvl));
+            for kind in [EdgeKind::Unmarked, EdgeKind::Ring] {
+                k.extend(vs.of(kind).iter().copied());
+            }
+        }
+        k
+    }
+
+    /// Recomputes one peer's knowledge from the live network, inserting the
+    /// peer if it is new and dropping it if it no longer exists. Returns
+    /// `true` iff the peer is (still) present. `O(log n + k log k)` for a
+    /// peer with `k` out-edges — the incremental alternative to rebuilding
+    /// the whole table via [`RoutingTable::from_network`].
+    pub fn refresh_peer(&mut self, net: &rechord_core::network::ReChordNetwork, peer: Ident) -> bool {
+        match net.engine().state(peer) {
+            Some(st) => {
+                if let Err(pos) = self.peers.binary_search(&peer) {
+                    self.peers.insert(pos, peer);
+                }
+                self.knowledge.insert(peer, Self::knowledge_from_state(peer, st));
+                true
+            }
+            None => {
+                self.remove_peer(peer);
+                false
+            }
+        }
+    }
+
+    /// Drops a peer (and its knowledge) from the table, e.g. after a crash.
+    /// Returns `true` iff it was present. References *to* the dead peer held
+    /// by others decay through their own refreshes, mirroring how the
+    /// protocol itself purges them.
+    pub fn remove_peer(&mut self, peer: Ident) -> bool {
+        let existed = match self.peers.binary_search(&peer) {
+            Ok(pos) => {
+                self.peers.remove(pos);
+                true
+            }
+            Err(_) => false,
+        };
+        self.knowledge.remove(&peer);
+        existed
+    }
+
+    /// Refreshes exactly the peers in `dirty` (as reported by
+    /// `ReChordNetwork::round_dirty`) — the steady-state cost of keeping a
+    /// table current drops to zero when a round changes nothing.
+    pub fn refresh_dirty(
+        &mut self,
+        net: &rechord_core::network::ReChordNetwork,
+        dirty: &[Ident],
+    ) {
+        for &peer in dirty {
+            self.refresh_peer(net, peer);
+        }
+    }
+
+    /// Rebuilds the whole view from the live per-peer states without
+    /// materializing an [`OverlayGraph`]. Equivalent to
+    /// [`RoutingTable::from_network`] on any state whose edges only point at
+    /// live, simulated nodes (always true once stabilized).
+    pub fn refresh_from_network(&mut self, net: &rechord_core::network::ReChordNetwork) {
+        self.peers = net.engine().ids().to_vec();
+        self.knowledge = net
+            .engine()
+            .iter()
+            .map(|(id, st)| (id, Self::knowledge_from_state(id, st)))
+            .collect();
+    }
+
     /// Mean/max size of per-peer knowledge (routing-table size analogue of
     /// Chord's O(log n) state per node).
     pub fn knowledge_summary(&self) -> (f64, usize) {
@@ -103,75 +184,95 @@ impl RouteResult {
     }
 }
 
+/// What one greedy routing step decided (see [`route_step`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HopDecision {
+    /// The current peer is the responsible peer: the lookup is done.
+    Arrived,
+    /// Move to `peer` with the cursor advanced to `cursor`. `peer` may equal
+    /// the current peer (a free local step through its own virtual nodes) or
+    /// differ (one network hop).
+    Next {
+        /// Peer holding the chosen node.
+        peer: Ident,
+        /// New cursor position (unchanged for knowledge-gap delegation).
+        cursor: Ident,
+    },
+    /// No progress is possible from here — imperfect knowledge, typically a
+    /// state still stabilizing. The caller may retry from elsewhere.
+    Stuck,
+}
+
+/// One step of the greedy route: the decision the peer `peer` makes for a
+/// request whose monotone cursor has reached `cursor`, bound for `key`.
+///
+/// [`route`] folds this over a frozen table; a discrete-event workload
+/// re-evaluates it hop by hop against the *live* table, so requests issued
+/// mid-stabilization see knowledge exactly as it evolves.
+pub fn route_step(table: &RoutingTable, peer: Ident, cursor: Ident, key: Ident) -> HopDecision {
+    let Some(responsible) = table.responsible_for(key) else {
+        return HopDecision::Stuck;
+    };
+    if peer == responsible {
+        return HopDecision::Arrived;
+    }
+    let Some(known) = table.knowledge_of(peer) else {
+        return HopDecision::Stuck;
+    };
+    let remaining = cursor.dist_cw(key); // > 0: cursor == key only if done
+
+    // Best strictly-progressing node: maximal clockwise advance from the
+    // cursor without passing the key.
+    let next = known
+        .iter()
+        .filter(|t| {
+            let adv = cursor.dist_cw(t.pos());
+            adv > 0 && adv <= remaining
+        })
+        .max_by_key(|t| cursor.dist_cw(t.pos()))
+        .copied();
+
+    match next {
+        Some(t) => HopDecision::Next { peer: t.owner, cursor: t.pos() },
+        None => {
+            // Key bracketed: the responsible peer is the first real node
+            // at-or-after the key in this peer's knowledge. If that node is
+            // someone else's, delegate without moving the cursor (imperfect
+            // knowledge bounces are capped by the caller's hop budget).
+            let landing = known
+                .iter()
+                .filter(|t| t.is_real())
+                .min_by_key(|t| key.dist_cw(t.pos()))
+                .copied();
+            match landing {
+                Some(t) if t.owner != peer => HopDecision::Next { peer: t.owner, cursor },
+                _ => HopDecision::Stuck,
+            }
+        }
+    }
+}
+
 /// Routes from peer `from` toward the peer responsible for `key` (see
 /// module docs for the algorithm).
 pub fn route(table: &RoutingTable, from: Ident, key: Ident) -> RouteResult {
-    let Some(responsible) = table.responsible_for(key) else {
-        return RouteResult { success: false, path: vec![from] };
-    };
     let mut path = vec![from];
     let mut peer = from;
     let mut cursor: Ident = from; // position reached so far, closing on key
 
-    // Hop budget: the cursor position is strictly monotone, and with finger
+    // Step budget: the cursor position is strictly monotone, and with finger
     // structure each hop at least halves the remaining arc; 2·64 bounds the
     // stable case, the rest guards broken topologies.
     for _ in 0..(2 * 64) {
-        if peer == responsible {
-            return RouteResult { success: true, path };
-        }
-        let Some(known) = table.knowledge_of(peer) else {
-            return RouteResult { success: false, path };
-        };
-        let remaining = cursor.dist_cw(key); // > 0: cursor == key only if done
-
-        // Best strictly-progressing node: maximal clockwise advance from
-        // the cursor without passing the key.
-        let next = known
-            .iter()
-            .filter(|t| {
-                let adv = cursor.dist_cw(t.pos());
-                adv > 0 && adv <= remaining
-            })
-            .max_by_key(|t| cursor.dist_cw(t.pos()))
-            .copied();
-
-        match next {
-            Some(t) => {
-                cursor = t.pos();
-                if t.owner != peer {
-                    peer = t.owner;
-                    path.push(peer);
-                }
-                if t.is_real() && t.owner == responsible {
-                    return RouteResult { success: true, path };
+        match route_step(table, peer, cursor, key) {
+            HopDecision::Arrived => return RouteResult { success: true, path },
+            HopDecision::Next { peer: p, cursor: c } => {
+                cursor = c;
+                if p != peer {
+                    peer = p;
+                    path.push(p);
                 }
             }
-            None => {
-                // key bracketed: the responsible peer is the first real
-                // node at-or-after the key in this peer's knowledge.
-                let landing = known
-                    .iter()
-                    .filter(|t| t.is_real())
-                    .min_by_key(|t| key.dist_cw(t.pos()))
-                    .copied();
-                match landing {
-                    Some(t) if t.owner == responsible => {
-                        if t.owner != peer {
-                            path.push(t.owner);
-                        }
-                        return RouteResult { success: true, path };
-                    }
-                    Some(t) if t.owner != peer => {
-                        // imperfect knowledge (non-stable state): delegate
-                        // to the best real candidate without moving the
-                        // cursor; the hop budget bounds fruitless bouncing.
-                        peer = t.owner;
-                        path.push(peer);
-                    }
-                    _ => return RouteResult { success: false, path },
-                }
-            }
+            HopDecision::Stuck => return RouteResult { success: false, path },
         }
     }
     RouteResult { success: false, path }
@@ -260,6 +361,100 @@ mod tests {
         let t = RoutingTable::default();
         let r = route(&t, Ident::from_raw(1), Ident::from_raw(2));
         assert!(!r.success);
+    }
+
+    #[test]
+    fn refresh_from_network_matches_snapshot_table_on_stable_overlay() {
+        for seed in [1u64, 7, 19] {
+            let (net, report) = ReChordNetwork::bootstrap_stable(14, seed, 1, 20_000);
+            assert!(report.converged);
+            let full = RoutingTable::from_network(&net);
+            let mut incremental = RoutingTable::default();
+            incremental.refresh_from_network(&net);
+            assert_eq!(full, incremental, "seed {seed}: incremental view diverged");
+        }
+    }
+
+    #[test]
+    fn refresh_dirty_tracks_a_stabilizing_network() {
+        // Start from scratch, refresh only dirty peers each round; at the
+        // fixpoint the table must equal the one-shot snapshot build.
+        let topo = rechord_topology::TopologyKind::Random.generate(12, 5);
+        let mut net = ReChordNetwork::from_topology(&topo, 1);
+        let mut table = RoutingTable::default();
+        table.refresh_from_network(&net);
+        for _ in 0..20_000 {
+            let (out, dirty) = net.round_dirty();
+            table.refresh_dirty(&net, &dirty);
+            if !out.changed {
+                break;
+            }
+        }
+        assert_eq!(table, RoutingTable::from_network(&net));
+    }
+
+    #[test]
+    fn refresh_peer_handles_joins_and_removals() {
+        let (mut net, _) = ReChordNetwork::bootstrap_stable(8, 3, 1, 20_000);
+        let mut table = RoutingTable::from_network(&net);
+        let contact = table.peers()[0];
+        let joiner = Ident::from_raw(0xdead_beef_1234_5678);
+        assert!(net.join_via(joiner, contact));
+        assert!(table.refresh_peer(&net, joiner));
+        assert!(table.peers().contains(&joiner));
+        // The joiner knows its contact straight away.
+        assert!(table
+            .knowledge_of(joiner)
+            .unwrap()
+            .iter()
+            .any(|t| t.owner == contact));
+        // Crash it again: refresh drops it.
+        assert!(net.crash(joiner));
+        assert!(!table.refresh_peer(&net, joiner));
+        assert!(!table.peers().contains(&joiner));
+        assert!(table.knowledge_of(joiner).is_none());
+        assert!(!table.remove_peer(joiner), "already gone");
+    }
+
+    #[test]
+    fn route_step_agrees_with_route() {
+        let t = stable_table(20, 13);
+        let peers = t.peers().to_vec();
+        for &src in peers.iter().take(6) {
+            for k in 0..6u64 {
+                let key = Ident::from_raw(k.wrapping_mul(0x3333_9999_aaaa_0001) ^ 0x77);
+                let full = route(&t, src, key);
+                // Fold route_step by hand.
+                let (mut peer, mut cursor) = (src, src);
+                let mut path = vec![src];
+                let mut arrived = false;
+                for _ in 0..128 {
+                    match route_step(&t, peer, cursor, key) {
+                        HopDecision::Arrived => {
+                            arrived = true;
+                            break;
+                        }
+                        HopDecision::Next { peer: p, cursor: c } => {
+                            cursor = c;
+                            if p != peer {
+                                peer = p;
+                                path.push(p);
+                            }
+                        }
+                        HopDecision::Stuck => break,
+                    }
+                }
+                assert_eq!(arrived, full.success);
+                assert_eq!(path, full.path);
+            }
+        }
+    }
+
+    #[test]
+    fn route_step_on_empty_table_is_stuck() {
+        let t = RoutingTable::default();
+        let p = Ident::from_raw(1);
+        assert_eq!(route_step(&t, p, p, Ident::from_raw(9)), HopDecision::Stuck);
     }
 
     #[test]

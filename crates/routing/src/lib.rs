@@ -7,6 +7,8 @@
 //! * [`route`] — greedy Chord routing over the projected peer overlay
 //!   (§1.1's binary-search path: always hop to the neighbor that gets
 //!   closest to the key without overshooting), `O(log n)` hops w.h.p.;
+//! * [`route_step`] — the same algorithm one hop at a time, for
+//!   discrete-event workloads that re-read the live overlay between hops;
 //! * [`KvStore`] — consistent-hashing key-value storage where the key's
 //!   cyclic successor peer is responsible, with puts/gets resolved by
 //!   routing.
@@ -18,7 +20,7 @@ mod dht;
 mod greedy;
 
 pub use dht::{KvStore, LookupOutcome};
-pub use greedy::{route, RouteResult, RoutingTable};
+pub use greedy::{route, route_step, HopDecision, RouteResult, RoutingTable};
 
 #[cfg(test)]
 mod proptests;

@@ -178,8 +178,40 @@ impl<P: SyncProtocol> Engine<P> {
     /// use full rounds (or [`Engine::run_until_fixpoint`]) to confirm
     /// stability.
     pub fn round_with_schedule(&mut self, active: impl Fn(Ident) -> bool) -> RoundOutcome {
+        let (prev, delivered, dropped) = self.round_core(&active);
+        // Short-circuits at the first differing peer — the hot path for
+        // fixpoint loops that never look at *which* peers changed.
+        RoundOutcome { changed: prev != self.states, delivered, dropped }
+    }
+
+    /// Like [`Engine::round_with_schedule`], additionally reporting exactly
+    /// which peers' states changed this round (ascending by identifier).
+    ///
+    /// This is the co-simulation hook: a workload driver interleaving its
+    /// own events with protocol rounds uses the dirty set to refresh derived
+    /// views (e.g. a routing table) incrementally — at a true fixpoint the
+    /// set is empty and the refresh is free.
+    pub fn round_dirty_with_schedule(
+        &mut self,
+        active: impl Fn(Ident) -> bool,
+    ) -> (RoundOutcome, Vec<Ident>) {
+        let (prev, delivered, dropped) = self.round_core(&active);
+        // The id column is fixed within a round, so prev and states align.
+        let dirty: Vec<Ident> = self
+            .ids
+            .iter()
+            .zip(prev.iter().zip(self.states.iter()))
+            .filter(|(_, (a, b))| a != b)
+            .map(|(&id, _)| id)
+            .collect();
+        (RoundOutcome { changed: !dirty.is_empty(), delivered, dropped }, dirty)
+    }
+
+    /// The shared round body: step, merge, deliver. Returns the pre-round
+    /// states (for change detection) plus delivery counts.
+    fn round_core(&mut self, active: &impl Fn(Ident) -> bool) -> (Vec<P::State>, usize, usize) {
         let prev = self.states.clone();
-        let mut msgs = self.step_all(&prev, &active);
+        let mut msgs = self.step_all(&prev, active);
 
         // Canonical delivery order: by (target, message). Ties carry equal
         // messages, so unstable sorting cannot perturb outcomes; this makes
@@ -199,7 +231,7 @@ impl<P: SyncProtocol> Engine<P> {
         }
 
         self.round += 1;
-        RoundOutcome { changed: prev != self.states, delivered, dropped }
+        (prev, delivered, dropped)
     }
 
     /// Runs up to `max_rounds` rounds, stopping at the first fixpoint
@@ -438,6 +470,33 @@ mod tests {
         let report = e.run_until_fixpoint(10);
         assert!(report.converged);
         assert_eq!(report.rounds, 1);
+    }
+
+    #[test]
+    fn dirty_set_matches_state_diffs() {
+        let mut tracked = engine_with(17, 2);
+        let mut control = engine_with(17, 1);
+        loop {
+            let before: Vec<_> = control.iter().map(|(i, s)| (i, s.clone())).collect();
+            let (out, dirty) = tracked.round_dirty_with_schedule(|_| true);
+            control.round();
+            let after: Vec<_> = control.iter().map(|(i, s)| (i, s.clone())).collect();
+            let expected: Vec<Ident> = before
+                .iter()
+                .zip(after.iter())
+                .filter(|(a, b)| a.1 != b.1)
+                .map(|(a, _)| a.0)
+                .collect();
+            assert_eq!(dirty, expected);
+            assert_eq!(out.changed, !dirty.is_empty());
+            assert!(dirty.windows(2).all(|w| w[0] < w[1]), "dirty ids ascend");
+            if !out.changed {
+                break;
+            }
+        }
+        // At the fixpoint the dirty set stays empty.
+        let (out, dirty) = tracked.round_dirty_with_schedule(|_| true);
+        assert!(!out.changed && dirty.is_empty());
     }
 
     #[test]

@@ -89,6 +89,91 @@ impl ChurnPlan {
     }
 }
 
+/// A churn event pinned to an instant of a discrete-event clock (virtual
+/// ticks), for drivers that interleave churn with request traffic instead of
+/// politely waiting for re-stabilization between events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimedChurnEvent {
+    /// Virtual time at which the event strikes.
+    pub at: u64,
+    /// The event itself.
+    pub event: ChurnEvent,
+}
+
+/// A deterministic schedule of [`TimedChurnEvent`]s, kept sorted by time
+/// (ties preserve insertion order, so merged plans replay identically).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimedChurnPlan {
+    events: Vec<TimedChurnEvent>,
+}
+
+impl TimedChurnPlan {
+    /// Lays an untimed plan out on the clock: event `k` fires at
+    /// `start + k * spacing`.
+    pub fn from_plan(plan: &ChurnPlan, start: u64, spacing: u64) -> Self {
+        TimedChurnPlan {
+            events: plan
+                .events
+                .iter()
+                .enumerate()
+                .map(|(k, &event)| TimedChurnEvent {
+                    at: start + k as u64 * spacing,
+                    event,
+                })
+                .collect(),
+        }
+    }
+
+    /// A churn storm: `events` mixed join/leave/crash events starting at
+    /// `start`, one every `spacing` ticks — far faster than re-stabilization,
+    /// which is the point.
+    pub fn storm(events: usize, p_join: f64, start: u64, spacing: u64, seed: u64) -> Self {
+        Self::from_plan(&ChurnPlan::mixed(events, p_join, seed), start, spacing)
+    }
+
+    /// A join wave: `joins` fresh peers arriving every `spacing` ticks from
+    /// `start` (Theorem 4.1's workload under load).
+    pub fn join_wave(joins: usize, start: u64, spacing: u64, seed: u64) -> Self {
+        Self::from_plan(&ChurnPlan::joins_only(joins, seed), start, spacing)
+    }
+
+    /// A crash wave: `crashes` peers failing every `spacing` ticks.
+    pub fn crash_wave(crashes: usize, start: u64, spacing: u64) -> Self {
+        Self::from_plan(&ChurnPlan::crashes_only(crashes), start, spacing)
+    }
+
+    /// Merges two plans into one schedule, re-sorted by time (stable, so
+    /// same-instant events keep `self`-before-`other` order).
+    pub fn merged(mut self, other: TimedChurnPlan) -> Self {
+        self.events.extend(other.events);
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// The events, ascending by time.
+    pub fn events(&self) -> &[TimedChurnEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True iff nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// `(first, last)` strike times, or `None` when empty.
+    pub fn span(&self) -> Option<(u64, u64)> {
+        match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => Some((a.at, b.at)),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +207,41 @@ mod tests {
         let p = ChurnPlan::default();
         assert!(p.is_empty());
         assert_eq!(p.net_population_delta(), 0);
+    }
+
+    #[test]
+    fn timed_plan_lays_out_on_the_clock() {
+        let plan = TimedChurnPlan::from_plan(&ChurnPlan::crashes_only(3), 100, 25);
+        assert_eq!(plan.len(), 3);
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at).collect();
+        assert_eq!(times, vec![100, 125, 150]);
+        assert_eq!(plan.span(), Some((100, 150)));
+        assert!(plan.events().iter().all(|e| matches!(e.event, ChurnEvent::Crash)));
+    }
+
+    #[test]
+    fn timed_plan_merge_sorts_stably() {
+        let joins = TimedChurnPlan::join_wave(2, 50, 100, 7); // 50, 150
+        let crashes = TimedChurnPlan::crash_wave(2, 50, 50); // 50, 100
+        let merged = joins.clone().merged(crashes);
+        let times: Vec<u64> = merged.events().iter().map(|e| e.at).collect();
+        assert_eq!(times, vec![50, 50, 100, 150]);
+        // stable: the join scheduled at 50 precedes the crash at 50
+        assert!(matches!(merged.events()[0].event, ChurnEvent::Join { .. }));
+        assert!(matches!(merged.events()[1].event, ChurnEvent::Crash));
+        // determinism end to end
+        let again = TimedChurnPlan::join_wave(2, 50, 100, 7)
+            .merged(TimedChurnPlan::crash_wave(2, 50, 50));
+        assert_eq!(merged, again);
+    }
+
+    #[test]
+    fn timed_plan_empty_and_storm() {
+        assert!(TimedChurnPlan::default().is_empty());
+        assert_eq!(TimedChurnPlan::default().span(), None);
+        let storm = TimedChurnPlan::storm(10, 0.4, 1_000, 10, 3);
+        assert_eq!(storm.len(), 10);
+        assert_eq!(storm.span(), Some((1_000, 1_090)));
+        assert_eq!(storm, TimedChurnPlan::storm(10, 0.4, 1_000, 10, 3));
     }
 }

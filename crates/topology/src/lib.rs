@@ -15,7 +15,7 @@ mod churn;
 mod generators;
 mod initial;
 
-pub use churn::{ChurnEvent, ChurnPlan};
+pub use churn::{ChurnEvent, ChurnPlan, TimedChurnEvent, TimedChurnPlan};
 pub use generators::TopologyKind;
 pub use initial::InitialTopology;
 

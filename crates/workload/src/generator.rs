@@ -1,0 +1,216 @@
+//! Open-loop traffic generation: a Poisson request stream over a Zipf key
+//! popularity, with an optional hot-key override for flash-crowd scenarios.
+
+use rand::distributions::{Distribution, Exp, Zipf};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The DHT operation a request performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Read the value under the key.
+    Get,
+    /// Write a fresh version under the key.
+    Put,
+}
+
+impl Op {
+    /// Compact label for traces and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Op::Get => "get",
+            Op::Put => "put",
+        }
+    }
+}
+
+/// One client request, as injected by the generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Unique, monotonically increasing request id (doubles as the version
+    /// written by a put).
+    pub id: u64,
+    /// The operation.
+    pub op: Op,
+    /// Application key (hashed onto the ring by the driver's `IdSpace`).
+    pub key: u64,
+    /// Virtual time at which the request entered the system.
+    pub issued_at: u64,
+}
+
+/// Shape of the offered load.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrafficConfig {
+    /// Mean ticks between request injections (Poisson arrivals; must be
+    /// `> 0`). Rate = `1000 / mean_interarrival` requests per kilotick.
+    pub mean_interarrival: f64,
+    /// Keys are drawn from `1..=key_universe`.
+    pub key_universe: u64,
+    /// Zipf popularity exponent over the key universe (`0` = uniform).
+    pub zipf_exponent: f64,
+    /// Fraction of requests that are puts (the rest are gets).
+    pub put_fraction: f64,
+    /// When set to `(key, p)`, each request targets `key` with probability
+    /// `p` regardless of the Zipf draw — a flash crowd on one item.
+    pub hot_key: Option<(u64, f64)>,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            mean_interarrival: 10.0,
+            key_universe: 256,
+            zipf_exponent: 0.9,
+            put_fraction: 0.1,
+            hot_key: None,
+        }
+    }
+}
+
+/// The deterministic request source. All randomness comes from one owned
+/// [`SmallRng`], and every request consumes a fixed number of draws, so a
+/// seed pins the entire stream.
+pub struct TrafficGen {
+    cfg: TrafficConfig,
+    zipf: Zipf,
+    gaps: Exp,
+    rng: SmallRng,
+    next_id: u64,
+}
+
+impl TrafficGen {
+    /// A generator for `cfg`, seeded independently of every other sampler in
+    /// the simulation.
+    pub fn new(cfg: TrafficConfig, seed: u64) -> Self {
+        assert!(
+            cfg.mean_interarrival.is_finite() && cfg.mean_interarrival > 0.0,
+            "mean_interarrival must be > 0"
+        );
+        assert!(cfg.key_universe >= 1, "key universe must be non-empty");
+        TrafficGen {
+            zipf: Zipf::new(cfg.key_universe, cfg.zipf_exponent),
+            gaps: Exp::new(1.0 / cfg.mean_interarrival),
+            cfg,
+            rng: SmallRng::seed_from_u64(seed ^ 0x7261_6666_6963_2121),
+            next_id: 0,
+        }
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &TrafficConfig {
+        &self.cfg
+    }
+
+    /// Replaces the hot-key override (flash crowds switch on and off
+    /// mid-run; the change applies from the next request).
+    pub fn set_hot_key(&mut self, hot: Option<(u64, f64)>) {
+        self.cfg.hot_key = hot;
+    }
+
+    /// Ticks until the next arrival (exponential, floored at 1).
+    pub fn next_gap(&mut self) -> u64 {
+        (self.gaps.sample(&mut self.rng).round() as u64).max(1)
+    }
+
+    /// Produces the next request of the stream, stamped `issued_at = now`.
+    pub fn next_request(&mut self, now: u64) -> Request {
+        let id = self.next_id;
+        self.next_id += 1;
+        // Fixed draw count and order (op, zipf, hot) — the hot roll is
+        // consumed even with no hot key set, so toggling a flash crowd on or
+        // off never shifts the op/key/gap stream of an otherwise-equal run.
+        let op = if self.rng.gen_bool(self.cfg.put_fraction) { Op::Put } else { Op::Get };
+        let mut key = self.zipf.sample(&mut self.rng);
+        let hot_roll: f64 = self.rng.gen();
+        if let Some((hot, p)) = self.cfg.hot_key {
+            if hot_roll < p {
+                key = hot;
+            }
+        }
+        Request { id, op, key, issued_at: now }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mk = || {
+            let mut g = TrafficGen::new(TrafficConfig::default(), 7);
+            (0..64).map(|k| (g.next_gap(), g.next_request(k))).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let mut g = TrafficGen::new(TrafficConfig::default(), 1);
+        let ids: Vec<u64> = (0..100).map(|k| g.next_request(k).id).collect();
+        assert!(ids.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn keys_stay_in_universe_and_skew() {
+        let cfg = TrafficConfig { key_universe: 50, zipf_exponent: 1.2, ..Default::default() };
+        let mut g = TrafficGen::new(cfg, 3);
+        let mut counts = [0usize; 51];
+        for k in 0..20_000 {
+            let r = g.next_request(k);
+            assert!((1..=50).contains(&r.key));
+            counts[r.key as usize] += 1;
+        }
+        assert!(counts[1] > counts[25] && counts[1] > counts[50], "Zipf head dominates");
+    }
+
+    #[test]
+    fn put_fraction_roughly_holds() {
+        let cfg = TrafficConfig { put_fraction: 0.25, ..Default::default() };
+        let mut g = TrafficGen::new(cfg, 5);
+        let puts =
+            (0..10_000).filter(|&k| g.next_request(k).op == Op::Put).count();
+        assert!((2_000..3_000).contains(&puts), "{puts} puts out of 10k");
+    }
+
+    #[test]
+    fn hot_key_override_concentrates_traffic() {
+        let mut g = TrafficGen::new(TrafficConfig::default(), 9);
+        g.set_hot_key(Some((42, 0.8)));
+        let hot = (0..5_000).filter(|&k| g.next_request(k).key == 42).count();
+        assert!(hot > 3_700, "only {hot}/5000 hit the hot key");
+        g.set_hot_key(None);
+        let hot = (0..5_000).filter(|&k| g.next_request(k).key == 42).count();
+        assert!(hot < 1_000, "hot key did not cool down: {hot}");
+    }
+
+    #[test]
+    fn hot_key_toggle_does_not_shift_the_stream() {
+        // The invariant the fixed draw count buys: a run that switches a
+        // flash crowd on and back off stays aligned with an undisturbed run
+        // — same ops and gaps throughout, same keys outside the hot window.
+        let mut plain = TrafficGen::new(TrafficConfig::default(), 13);
+        let mut crowd = TrafficGen::new(TrafficConfig::default(), 13);
+        let sample = |g: &mut TrafficGen, n: u64| {
+            (0..n).map(|k| (g.next_request(k), g.next_gap())).collect::<Vec<_>>()
+        };
+        let (a, b) = (sample(&mut plain, 100), sample(&mut crowd, 100));
+        assert_eq!(a, b, "identical before the crowd");
+        crowd.set_hot_key(Some((3, 0.7)));
+        let (a, b) = (sample(&mut plain, 100), sample(&mut crowd, 100));
+        assert!(a.iter().zip(&b).all(|((ra, ga), (rb, gb))| ra.op == rb.op && ga == gb));
+        crowd.set_hot_key(None);
+        let (a, b) = (sample(&mut plain, 100), sample(&mut crowd, 100));
+        assert_eq!(a, b, "streams re-align once the crowd ends");
+    }
+
+    #[test]
+    fn gaps_are_positive_with_requested_mean() {
+        let cfg = TrafficConfig { mean_interarrival: 25.0, ..Default::default() };
+        let mut g = TrafficGen::new(cfg, 11);
+        let n = 20_000u64;
+        let sum: u64 = (0..n).map(|_| g.next_gap()).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 25.0).abs() < 1.5, "mean gap {mean}");
+    }
+}

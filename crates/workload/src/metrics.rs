@@ -1,0 +1,377 @@
+//! The SLO sink: per-request outcomes, latency percentiles, availability,
+//! throughput, and windowed timelines — what a client of the DHT actually
+//! experiences while the overlay churns underneath.
+
+use crate::generator::Op;
+use rechord_analysis::Histogram;
+use std::fmt;
+
+/// How a request ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// Routed to the responsible peer and served (a get of a never-written
+    /// key counts as a successful empty read).
+    Success,
+    /// Routed, but an acknowledged value was not found at any replica — the
+    /// data was lost or has not yet been repaired onto the new replica set.
+    StaleRead,
+    /// Dropped after exhausting retries (routing stuck mid-stabilization,
+    /// or the resident peer crashed too often).
+    Lost,
+}
+
+impl OutcomeKind {
+    /// Compact label for traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OutcomeKind::Success => "ok",
+            OutcomeKind::StaleRead => "stale",
+            OutcomeKind::Lost => "lost",
+        }
+    }
+}
+
+/// The full record of one completed request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// Request id (generator order).
+    pub id: u64,
+    /// The operation.
+    pub op: Op,
+    /// Application key.
+    pub key: u64,
+    /// Virtual time the request entered the system.
+    pub issued_at: u64,
+    /// Virtual time it completed (or was declared lost).
+    pub completed_at: u64,
+    /// Peer-to-peer hops taken, across all retries (replica probes count).
+    pub hops: u32,
+    /// Retries consumed.
+    pub retries: u32,
+    /// How it ended.
+    pub kind: OutcomeKind,
+}
+
+impl RequestOutcome {
+    /// End-to-end virtual latency.
+    pub fn latency(&self) -> u64 {
+        self.completed_at.saturating_sub(self.issued_at)
+    }
+}
+
+/// Aggregate service-level summary of a run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloSummary {
+    /// Requests completed (any outcome).
+    pub total: usize,
+    /// Successful requests.
+    pub success: usize,
+    /// Stale reads.
+    pub stale: usize,
+    /// Lost requests.
+    pub lost: usize,
+    /// Median latency of successful requests (virtual ticks).
+    pub p50: u64,
+    /// 90th-percentile latency.
+    pub p90: u64,
+    /// 99th-percentile latency.
+    pub p99: u64,
+    /// Worst successful-request latency.
+    pub max_latency: u64,
+    /// Mean hops per successful request.
+    pub mean_hops: f64,
+    /// `success / total` (1.0 for an empty run).
+    pub availability: f64,
+    /// Successful requests per 1000 ticks of the span they occupied.
+    pub throughput_per_ktick: f64,
+}
+
+impl fmt::Display for SloSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reqs | avail {:.4} ({} ok / {} stale / {} lost) | latency p50/p90/p99/max {}/{}/{}/{} | {:.2} hops | {:.1} req/ktick",
+            self.total,
+            self.availability,
+            self.success,
+            self.stale,
+            self.lost,
+            self.p50,
+            self.p90,
+            self.p99,
+            self.max_latency,
+            self.mean_hops,
+            self.throughput_per_ktick
+        )
+    }
+}
+
+/// One slice of the availability/latency timeline (requests bucketed by
+/// issue time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowStat {
+    /// Window start (inclusive), in virtual ticks.
+    pub start: u64,
+    /// Requests issued in the window.
+    pub total: usize,
+    /// Of those, how many succeeded.
+    pub success: usize,
+    /// 99th-percentile latency of the window's successes (0 if none).
+    pub p99: u64,
+}
+
+impl WindowStat {
+    /// `success / total` for this window (1.0 when empty).
+    pub fn availability(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.success as f64 / self.total as f64
+        }
+    }
+}
+
+/// Collects [`RequestOutcome`]s and answers SLO questions about them.
+#[derive(Debug, Default)]
+pub struct SloSink {
+    outcomes: Vec<RequestOutcome>,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+impl SloSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed request.
+    pub fn record(&mut self, outcome: RequestOutcome) {
+        self.outcomes.push(outcome);
+    }
+
+    /// All outcomes, in completion order.
+    pub fn outcomes(&self) -> &[RequestOutcome] {
+        &self.outcomes
+    }
+
+    /// Number of recorded outcomes.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// True iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// The aggregate summary.
+    pub fn summary(&self) -> SloSummary {
+        let total = self.outcomes.len();
+        let success = self.count(OutcomeKind::Success);
+        let stale = self.count(OutcomeKind::StaleRead);
+        let lost = self.count(OutcomeKind::Lost);
+        let mut lat: Vec<u64> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.kind == OutcomeKind::Success)
+            .map(|o| o.latency())
+            .collect();
+        lat.sort_unstable();
+        let hops: u64 = self
+            .outcomes
+            .iter()
+            .filter(|o| o.kind == OutcomeKind::Success)
+            .map(|o| o.hops as u64)
+            .sum();
+        let span = self.span().max(1);
+        SloSummary {
+            total,
+            success,
+            stale,
+            lost,
+            p50: percentile(&lat, 0.50),
+            p90: percentile(&lat, 0.90),
+            p99: percentile(&lat, 0.99),
+            max_latency: lat.last().copied().unwrap_or(0),
+            mean_hops: if success == 0 { 0.0 } else { hops as f64 / success as f64 },
+            availability: if total == 0 { 1.0 } else { success as f64 / total as f64 },
+            throughput_per_ktick: success as f64 * 1000.0 / span as f64,
+        }
+    }
+
+    /// Virtual-time span from first issue to last completion.
+    pub fn span(&self) -> u64 {
+        let first = self.outcomes.iter().map(|o| o.issued_at).min().unwrap_or(0);
+        let last = self.outcomes.iter().map(|o| o.completed_at).max().unwrap_or(0);
+        last.saturating_sub(first)
+    }
+
+    /// The availability/latency timeline: outcomes bucketed into windows of
+    /// `width` ticks by issue time, from the first issue on. Empty windows
+    /// inside the span are included (total 0).
+    pub fn windows(&self, width: u64) -> Vec<WindowStat> {
+        let width = width.max(1);
+        if self.outcomes.is_empty() {
+            return Vec::new();
+        }
+        let first = self.outcomes.iter().map(|o| o.issued_at).min().unwrap_or(0);
+        let last = self.outcomes.iter().map(|o| o.issued_at).max().unwrap_or(0);
+        let buckets = ((last - first) / width + 1) as usize;
+        let mut lat: Vec<Vec<u64>> = vec![Vec::new(); buckets];
+        let mut stats: Vec<WindowStat> = (0..buckets)
+            .map(|i| WindowStat { start: first + i as u64 * width, total: 0, success: 0, p99: 0 })
+            .collect();
+        for o in &self.outcomes {
+            let i = ((o.issued_at - first) / width) as usize;
+            stats[i].total += 1;
+            if o.kind == OutcomeKind::Success {
+                stats[i].success += 1;
+                lat[i].push(o.latency());
+            }
+        }
+        for (s, l) in stats.iter_mut().zip(lat.iter_mut()) {
+            l.sort_unstable();
+            s.p99 = percentile(l, 0.99);
+        }
+        stats
+    }
+
+    /// The success-latency distribution as an analysis histogram (`width`
+    /// ticks per bucket, `buckets` buckets).
+    pub fn latency_histogram(&self, width: u64, buckets: usize) -> Histogram {
+        let mut h = Histogram::new(width, buckets);
+        h.record_all(
+            self.outcomes
+                .iter()
+                .filter(|o| o.kind == OutcomeKind::Success)
+                .map(|o| o.latency()),
+        );
+        h
+    }
+
+    /// A canonical byte-exact trace of the run, one line per outcome —
+    /// what the determinism tests compare across runs.
+    pub fn trace(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "{} {} {} {} {} {} {} {}\n",
+                o.id,
+                o.op.label(),
+                o.key,
+                o.issued_at,
+                o.completed_at,
+                o.hops,
+                o.retries,
+                o.kind.label()
+            ));
+        }
+        out
+    }
+
+    fn count(&self, kind: OutcomeKind) -> usize {
+        self.outcomes.iter().filter(|o| o.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: u64, issued: u64, done: u64, kind: OutcomeKind) -> RequestOutcome {
+        RequestOutcome {
+            id,
+            op: Op::Get,
+            key: id,
+            issued_at: issued,
+            completed_at: done,
+            hops: 3,
+            retries: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn summary_counts_and_percentiles() {
+        let mut s = SloSink::new();
+        for k in 0..98 {
+            s.record(outcome(k, 0, 10 + k, OutcomeKind::Success)); // latencies 10..=107
+        }
+        s.record(outcome(98, 0, 500, OutcomeKind::StaleRead));
+        s.record(outcome(99, 0, 500, OutcomeKind::Lost));
+        let sum = s.summary();
+        assert_eq!(sum.total, 100);
+        assert_eq!(sum.success, 98);
+        assert_eq!(sum.stale, 1);
+        assert_eq!(sum.lost, 1);
+        assert_eq!(sum.availability, 0.98);
+        assert_eq!(sum.p50, 10 + 48); // 49th of 98 sorted latencies
+        assert_eq!(sum.max_latency, 107);
+        assert!(sum.p99 >= sum.p90 && sum.p90 >= sum.p50);
+        assert_eq!(sum.mean_hops, 3.0);
+    }
+
+    #[test]
+    fn empty_sink_is_vacuously_available() {
+        let s = SloSink::new();
+        let sum = s.summary();
+        assert_eq!(sum.total, 0);
+        assert_eq!(sum.availability, 1.0);
+        assert_eq!(sum.p99, 0);
+        assert!(s.windows(100).is_empty());
+    }
+
+    #[test]
+    fn windows_bucket_by_issue_time() {
+        let mut s = SloSink::new();
+        s.record(outcome(0, 100, 120, OutcomeKind::Success));
+        s.record(outcome(1, 150, 190, OutcomeKind::Lost));
+        s.record(outcome(2, 350, 360, OutcomeKind::Success));
+        let w = s.windows(100);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].start, 100);
+        assert_eq!((w[0].total, w[0].success), (2, 1));
+        assert_eq!(w[0].availability(), 0.5);
+        assert_eq!((w[1].total, w[1].success), (0, 0));
+        assert_eq!(w[1].availability(), 1.0, "empty window is vacuous");
+        assert_eq!((w[2].total, w[2].success), (1, 1));
+        assert_eq!(w[2].p99, 10);
+    }
+
+    #[test]
+    fn trace_is_line_per_outcome_and_stable() {
+        let mut s = SloSink::new();
+        s.record(outcome(7, 1, 5, OutcomeKind::Success));
+        s.record(outcome(8, 2, 9, OutcomeKind::StaleRead));
+        let t = s.trace();
+        assert_eq!(t.lines().count(), 2);
+        assert!(t.starts_with("7 get 7 1 5 3 0 ok\n"));
+        assert!(t.contains("8 get 8 2 9 3 0 stale"));
+    }
+
+    #[test]
+    fn histogram_covers_success_latencies_only() {
+        let mut s = SloSink::new();
+        s.record(outcome(0, 0, 10, OutcomeKind::Success));
+        s.record(outcome(1, 0, 1_000, OutcomeKind::Lost));
+        let h = s.latency_histogram(50, 10);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 10);
+    }
+
+    #[test]
+    fn throughput_uses_the_span() {
+        let mut s = SloSink::new();
+        s.record(outcome(0, 0, 500, OutcomeKind::Success));
+        s.record(outcome(1, 500, 1_000, OutcomeKind::Success));
+        let sum = s.summary();
+        assert!((sum.throughput_per_ktick - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,603 @@
+//! The co-simulation driver: protocol rounds, churn, and client requests on
+//! one discrete-event clock.
+//!
+//! A [`TrafficSim`] owns a live [`ReChordNetwork`] and a [`RoutingTable`]
+//! kept current through the engine's dirty-peer hook. Requests route **hop
+//! by hop** — each hop re-reads the table as it stands at that instant — so
+//! a lookup issued mid-stabilization can stall, land on a crashed peer, get
+//! retried from another entry point, or be lost: exactly the client
+//! experience the convergence theorems are silent about.
+//!
+//! Storage follows Chord's successor-list replication: a put writes the
+//! responsible peer and its `replication - 1` cyclic successors; a get
+//! probes the same set (one extra hop per miss). When a round leaves the
+//! network stable again, an anti-entropy pass re-replicates every surviving
+//! acknowledged key onto its current replica set.
+
+use crate::event::EventQueue;
+use crate::generator::{Op, Request, TrafficConfig, TrafficGen};
+use crate::latency::LatencyModel;
+use crate::metrics::{OutcomeKind, RequestOutcome, SloSink, SloSummary};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rechord_core::network::ReChordNetwork;
+use rechord_id::{IdSpace, Ident};
+use rechord_routing::{route_step, HopDecision, RoutingTable};
+use rechord_topology::{ChurnEvent, TimedChurnPlan};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Everything that parameterizes a workload run (traffic shape aside, see
+/// [`TrafficConfig`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadConfig {
+    /// Master seed: id space, latency draws, entry-point choices, and the
+    /// generator stream all derive from it.
+    pub seed: u64,
+    /// The offered load.
+    pub traffic: TrafficConfig,
+    /// First request no earlier than this instant.
+    pub traffic_start: u64,
+    /// No requests injected after this instant.
+    pub traffic_end: u64,
+    /// Ticks between protocol rounds (the network stabilizes at this pace
+    /// while traffic flows).
+    pub round_every: u64,
+    /// Per-hop latency law.
+    pub latency: LatencyModel,
+    /// Replica count (responsible peer + successors), clamped to >= 1.
+    pub replication: usize,
+    /// Retries before a request is declared lost.
+    pub max_retries: u32,
+    /// Ticks a retry waits before re-entering at a fresh peer.
+    pub retry_backoff: u64,
+    /// Total peer-to-peer hops a request may take across retries.
+    pub hop_budget: u32,
+    /// Hard cap on protocol rounds (budget guard; generously above any
+    /// realistic stabilization).
+    pub max_rounds: u64,
+    /// Failure-detection lag: after a crash, survivors' routing-table
+    /// entries keep pointing at the ghost for this many ticks (requests
+    /// forwarded to it bounce and retry) before the full view is scrubbed.
+    /// `0` models an oracle failure detector.
+    pub detection_lag: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 1,
+            traffic: TrafficConfig::default(),
+            traffic_start: 0,
+            traffic_end: 10_000,
+            round_every: 50,
+            latency: LatencyModel::Uniform { lo: 5, hi: 15 },
+            replication: 2,
+            max_retries: 2,
+            retry_backoff: 40,
+            hop_budget: 128,
+            max_rounds: 50_000,
+            detection_lag: 200,
+        }
+    }
+}
+
+/// What the run produced.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Aggregate SLO summary.
+    pub summary: SloSummary,
+    /// The full outcome log (timelines, histograms, traces).
+    pub sink: SloSink,
+    /// Protocol rounds executed.
+    pub rounds: u64,
+    /// Was the final round a fixpoint?
+    pub stable_at_end: bool,
+    /// Peers alive at the end.
+    pub final_peers: usize,
+    /// Acknowledged keys with no surviving copy anywhere (every replica
+    /// crashed before a repair could run).
+    pub lost_keys: usize,
+}
+
+enum SimEvent {
+    /// The open-loop generator fires (and reschedules itself).
+    Arrival,
+    /// A request arrives at `peer` after a network hop.
+    Hop(InFlight),
+    /// One protocol round.
+    Round,
+    /// A scheduled churn event strikes.
+    Churn(ChurnEvent),
+    /// Reconfigure the generator's hot key (flash crowds).
+    SetHotKey(Option<(u64, f64)>),
+    /// The failure detector fires: scrub the routing view of ghosts.
+    RefreshTable,
+}
+
+struct InFlight {
+    req: Request,
+    peer: Ident,
+    cursor: Ident,
+    hops: u32,
+    retries: u32,
+}
+
+/// The discrete-event traffic simulator (see module docs).
+pub struct TrafficSim {
+    cfg: WorkloadConfig,
+    net: ReChordNetwork,
+    table: RoutingTable,
+    space: IdSpace,
+    gen: TrafficGen,
+    rng: SmallRng,
+    queue: EventQueue<SimEvent>,
+    /// peer -> key -> version (a put's request id).
+    storage: BTreeMap<Ident, BTreeMap<u64, u64>>,
+    /// Keys whose put (or preload) was acknowledged to a client.
+    acked: BTreeSet<u64>,
+    sink: SloSink,
+    pending_churn: usize,
+    churn_applied: usize,
+    round_scheduled: bool,
+    rounds_run: u64,
+    was_stable: bool,
+}
+
+impl TrafficSim {
+    /// Builds a simulator over `net` (in whatever state it is in — stable or
+    /// mid-recovery) with `churn` laid onto the clock. Traffic and rounds
+    /// are scheduled per `cfg`.
+    pub fn new(cfg: WorkloadConfig, net: ReChordNetwork, churn: &TimedChurnPlan) -> Self {
+        let mut table = RoutingTable::default();
+        table.refresh_from_network(&net);
+        let mut queue = EventQueue::new();
+        for e in churn.events() {
+            queue.push(e.at, SimEvent::Churn(e.event));
+        }
+        if cfg.traffic_start <= cfg.traffic_end {
+            queue.push(cfg.traffic_start, SimEvent::Arrival);
+        }
+        queue.push(cfg.round_every.max(1), SimEvent::Round);
+        TrafficSim {
+            space: IdSpace::new(cfg.seed),
+            gen: TrafficGen::new(cfg.traffic, cfg.seed),
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0x6c61_7465_6e63_7921),
+            pending_churn: churn.len(),
+            cfg,
+            net,
+            table,
+            queue,
+            storage: BTreeMap::new(),
+            acked: BTreeSet::new(),
+            sink: SloSink::new(),
+            churn_applied: 0,
+            round_scheduled: true,
+            rounds_run: 0,
+            was_stable: false,
+        }
+    }
+
+    /// Schedules a hot-key reconfiguration at virtual time `at` (call before
+    /// [`TrafficSim::run`]).
+    pub fn schedule_hot_key(&mut self, at: u64, hot: Option<(u64, f64)>) {
+        self.queue.push(at, SimEvent::SetHotKey(hot));
+    }
+
+    /// Seeds every key of the universe (version 0) onto its current replica
+    /// set, acknowledged — so gets have something to find from tick one.
+    pub fn preload(&mut self) {
+        for key in 1..=self.gen.config().key_universe {
+            self.place(key, 0);
+            self.acked.insert(key);
+        }
+    }
+
+    /// Runs the simulation to completion: the queue drains once traffic has
+    /// ended, every request has resolved, all churn has struck, and the
+    /// network has re-stabilized (or the round budget is exhausted).
+    pub fn run(mut self) -> SimReport {
+        while let Some((_, ev)) = self.queue.pop() {
+            match ev {
+                SimEvent::Arrival => self.on_arrival(),
+                SimEvent::Hop(f) => self.advance(f),
+                SimEvent::Round => self.on_round(),
+                SimEvent::Churn(e) => self.on_churn(e),
+                SimEvent::SetHotKey(h) => self.gen.set_hot_key(h),
+                SimEvent::RefreshTable => self.table.refresh_from_network(&self.net),
+            }
+        }
+        let held: BTreeSet<u64> =
+            self.storage.values().flat_map(|m| m.keys().copied()).collect();
+        let lost_keys = self.acked.difference(&held).count();
+        SimReport {
+            summary: self.sink.summary(),
+            sink: self.sink,
+            rounds: self.rounds_run,
+            stable_at_end: self.was_stable,
+            final_peers: self.net.len(),
+            lost_keys,
+        }
+    }
+
+    // ---- event handlers ---------------------------------------------------
+
+    fn on_arrival(&mut self) {
+        let now = self.queue.now();
+        let req = self.gen.next_request(now);
+        let gap = self.gen.next_gap();
+        if now + gap <= self.cfg.traffic_end {
+            self.queue.push(now + gap, SimEvent::Arrival);
+        }
+        match self.pick_entry_peer() {
+            Some(via) => {
+                self.advance(InFlight { req, peer: via, cursor: via, hops: 0, retries: 0 });
+            }
+            None => self.sink.record(RequestOutcome {
+                id: req.id,
+                op: req.op,
+                key: req.key,
+                issued_at: now,
+                completed_at: now,
+                hops: 0,
+                retries: 0,
+                kind: OutcomeKind::Lost,
+            }),
+        }
+    }
+
+    fn on_round(&mut self) {
+        self.round_scheduled = false;
+        let (out, dirty) = self.net.round_dirty();
+        self.rounds_run += 1;
+        self.table.refresh_dirty(&self.net, &dirty);
+        if out.changed {
+            self.was_stable = false;
+        } else {
+            if !self.was_stable {
+                // Just reached a fixpoint: anti-entropy pass re-replicates
+                // surviving acknowledged data onto the current replica sets.
+                self.repair();
+            }
+            self.was_stable = true;
+        }
+        // Keep rounds ticking while the overlay is off its fixpoint or churn
+        // is still due; a stable, churn-free network needs no rounds for
+        // traffic to proceed.
+        if (!self.was_stable || self.pending_churn > 0) && self.rounds_run < self.cfg.max_rounds {
+            self.schedule_round();
+        }
+    }
+
+    fn on_churn(&mut self, event: ChurnEvent) {
+        self.pending_churn -= 1;
+        let k = self.churn_applied;
+        self.churn_applied += 1;
+        // Deterministic but varying victim/contact selector, mirroring
+        // `ReChordNetwork::run_churn_plan`.
+        let selector = k.wrapping_mul(0x9e37) ^ (self.cfg.seed as usize);
+        let applied = self.net.apply_event(&event, selector, self.cfg.seed.wrapping_add(k as u64));
+        if let Some(peer) = applied {
+            match event {
+                ChurnEvent::Join { .. } => {
+                    // Only the joiner's state is new; everyone else is
+                    // untouched until the next round.
+                    self.table.refresh_peer(&self.net, peer);
+                }
+                ChurnEvent::GracefulLeave => {
+                    // The leaver hands its data to the next peer clockwise
+                    // before disappearing (a polite shutdown drains itself).
+                    let data = self.storage.remove(&peer);
+                    self.table.refresh_from_network(&self.net);
+                    if let (Some(data), Some(succ)) = (data, self.successor_peer(peer)) {
+                        let target = self.storage.entry(succ).or_default();
+                        for (key, ver) in data {
+                            // Max-merge: never let a stale copy shadow the
+                            // leaver's newer version of the same key.
+                            target
+                                .entry(key)
+                                .and_modify(|v| *v = (*v).max(ver))
+                                .or_insert(ver);
+                        }
+                    }
+                }
+                ChurnEvent::Crash => {
+                    // Data dies with the peer, and the peer itself is gone
+                    // — but survivors only notice once the failure detector
+                    // fires: until then the table keeps routing through the
+                    // ghost and requests bounce off it.
+                    self.storage.remove(&peer);
+                    self.table.remove_peer(peer);
+                    let at = self.queue.now() + self.cfg.detection_lag;
+                    self.queue.push(at, SimEvent::RefreshTable);
+                }
+            }
+        }
+        self.was_stable = false;
+        if !self.round_scheduled && self.rounds_run < self.cfg.max_rounds {
+            self.schedule_round();
+        }
+    }
+
+    // ---- request lifecycle ------------------------------------------------
+
+    /// Drives a request from its current resident peer: free local steps
+    /// until the route either needs a network hop (scheduled with sampled
+    /// latency), completes, or gets stuck.
+    fn advance(&mut self, mut f: InFlight) {
+        let key_pos = self.space.key_position(f.req.key);
+        loop {
+            if self.table.knowledge_of(f.peer).is_none() {
+                // The resident peer crashed while the request was in flight.
+                return self.retry(f);
+            }
+            match route_step(&self.table, f.peer, f.cursor, key_pos) {
+                HopDecision::Arrived => return self.complete(f, key_pos),
+                HopDecision::Next { peer, cursor } => {
+                    f.cursor = cursor;
+                    if peer == f.peer {
+                        continue; // local step through its own virtual nodes
+                    }
+                    f.hops += 1;
+                    if f.hops > self.cfg.hop_budget {
+                        return self.retry(f);
+                    }
+                    f.peer = peer;
+                    let lat = self.cfg.latency.sample(&mut self.rng);
+                    let at = self.queue.now() + lat;
+                    return self.queue.push(at, SimEvent::Hop(f));
+                }
+                HopDecision::Stuck => return self.retry(f),
+            }
+        }
+    }
+
+    fn retry(&mut self, mut f: InFlight) {
+        f.retries += 1;
+        if f.retries > self.cfg.max_retries {
+            return self.finish(f, OutcomeKind::Lost);
+        }
+        match self.pick_entry_peer() {
+            Some(via) => {
+                f.peer = via;
+                f.cursor = via;
+                let at = self.queue.now() + self.cfg.retry_backoff;
+                self.queue.push(at, SimEvent::Hop(f));
+            }
+            None => self.finish(f, OutcomeKind::Lost),
+        }
+    }
+
+    fn complete(&mut self, mut f: InFlight, key_pos: Ident) {
+        match f.req.op {
+            Op::Put => {
+                self.place(f.req.key, f.req.id);
+                self.acked.insert(f.req.key);
+                self.finish(f, OutcomeKind::Success);
+            }
+            Op::Get => {
+                let replicas = self.replica_peers(key_pos);
+                let mut found = false;
+                for (probes, peer) in replicas.iter().enumerate() {
+                    if self.storage.get(peer).is_some_and(|m| m.contains_key(&f.req.key)) {
+                        found = true;
+                        f.hops += probes as u32; // each successor probe is a hop
+                        break;
+                    }
+                }
+                let kind = if found {
+                    OutcomeKind::Success
+                } else if self.acked.contains(&f.req.key) {
+                    f.hops += (replicas.len() as u32).saturating_sub(1);
+                    OutcomeKind::StaleRead
+                } else {
+                    OutcomeKind::Success // clean empty read: key never written
+                };
+                self.finish(f, kind);
+            }
+        }
+    }
+
+    fn finish(&mut self, f: InFlight, kind: OutcomeKind) {
+        self.sink.record(RequestOutcome {
+            id: f.req.id,
+            op: f.req.op,
+            key: f.req.key,
+            issued_at: f.req.issued_at,
+            completed_at: self.queue.now(),
+            hops: f.hops,
+            retries: f.retries,
+            kind,
+        });
+    }
+
+    // ---- storage & placement ----------------------------------------------
+
+    /// The responsible peer plus replication successors for a ring position
+    /// (deduplicated by clamping to the population).
+    fn replica_peers(&self, pos: Ident) -> Vec<Ident> {
+        let peers = self.table.peers();
+        if peers.is_empty() {
+            return Vec::new();
+        }
+        let start = match peers.binary_search(&pos) {
+            Ok(i) => i,
+            Err(i) if i < peers.len() => i,
+            Err(_) => 0,
+        };
+        (0..self.cfg.replication.max(1).min(peers.len()))
+            .map(|k| peers[(start + k) % peers.len()])
+            .collect()
+    }
+
+    fn place(&mut self, key: u64, version: u64) {
+        let pos = self.space.key_position(key);
+        for peer in self.replica_peers(pos) {
+            self.storage.entry(peer).or_default().insert(key, version);
+        }
+    }
+
+    /// Re-replicates every surviving key onto its current replica set and
+    /// drops stale copies — Chord's successor-list maintenance, run when the
+    /// overlay reaches a fixpoint.
+    fn repair(&mut self) {
+        let mut best: BTreeMap<u64, u64> = BTreeMap::new();
+        for m in self.storage.values() {
+            for (&key, &ver) in m {
+                best.entry(key).and_modify(|b| *b = (*b).max(ver)).or_insert(ver);
+            }
+        }
+        let mut fresh: BTreeMap<Ident, BTreeMap<u64, u64>> = BTreeMap::new();
+        for (&key, &ver) in &best {
+            let pos = self.space.key_position(key);
+            for peer in self.replica_peers(pos) {
+                fresh.entry(peer).or_default().insert(key, ver);
+            }
+        }
+        self.storage = fresh;
+    }
+
+    // ---- helpers ----------------------------------------------------------
+
+    fn pick_entry_peer(&mut self) -> Option<Ident> {
+        let peers = self.table.peers();
+        if peers.is_empty() {
+            return None;
+        }
+        Some(peers[self.rng.gen_range(0..peers.len())])
+    }
+
+    /// The cyclic successor of a *departed* peer's position among the
+    /// current peers.
+    fn successor_peer(&self, departed: Ident) -> Option<Ident> {
+        let peers = self.table.peers();
+        if peers.is_empty() {
+            return None;
+        }
+        let i = match peers.binary_search(&departed) {
+            Ok(i) | Err(i) => i,
+        };
+        Some(peers[i % peers.len()])
+    }
+
+    fn schedule_round(&mut self) {
+        self.queue.push(self.queue.now() + self.cfg.round_every.max(1), SimEvent::Round);
+        self.round_scheduled = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stable_net(n: usize, seed: u64) -> ReChordNetwork {
+        let (net, report) = ReChordNetwork::bootstrap_stable(n, seed, 1, 50_000);
+        assert!(report.converged);
+        net
+    }
+
+    fn steady_cfg(seed: u64) -> WorkloadConfig {
+        WorkloadConfig {
+            seed,
+            traffic: TrafficConfig {
+                mean_interarrival: 20.0,
+                key_universe: 64,
+                ..Default::default()
+            },
+            traffic_end: 4_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn steady_state_is_fully_available() {
+        let mut sim = TrafficSim::new(steady_cfg(5), stable_net(16, 5), &TimedChurnPlan::default());
+        sim.preload();
+        let report = sim.run();
+        assert!(report.summary.total > 100, "enough requests ran");
+        assert_eq!(report.summary.availability, 1.0, "{}", report.summary);
+        assert_eq!(report.summary.lost, 0);
+        assert_eq!(report.lost_keys, 0);
+        assert!(report.stable_at_end);
+        assert!(report.summary.p50 > 0, "hops cost virtual time");
+        assert!(report.summary.p99 >= report.summary.p50);
+    }
+
+    #[test]
+    fn runs_are_bit_identical() {
+        let run = || {
+            let mut sim = TrafficSim::new(
+                steady_cfg(9),
+                stable_net(12, 9),
+                &TimedChurnPlan::storm(4, 0.5, 500, 200, 7),
+            );
+            sim.preload();
+            let r = sim.run();
+            (r.sink.trace(), format!("{}", r.summary), r.rounds)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn churn_degrades_then_recovers() {
+        let mut cfg = steady_cfg(3);
+        cfg.traffic_end = 20_000;
+        cfg.replication = 3;
+        // Aggressive storm: 10 events striking every 120 ticks from t=2000.
+        let storm = TimedChurnPlan::storm(10, 0.4, 2_000, 120, 13);
+        let mut sim = TrafficSim::new(cfg, stable_net(24, 3), &storm);
+        sim.preload();
+        let report = sim.run();
+        assert!(report.stable_at_end, "network re-stabilized under the round budget");
+        let windows = report.sink.windows(2_000);
+        let tail = windows.last().unwrap();
+        assert_eq!(tail.availability(), 1.0, "tail window fully available: {}", report.summary);
+        assert!(report.summary.total > 500);
+    }
+
+    #[test]
+    fn join_wave_keeps_acked_data_reachable() {
+        let mut cfg = steady_cfg(11);
+        cfg.traffic_end = 12_000;
+        cfg.replication = 2;
+        let wave = TimedChurnPlan::join_wave(6, 1_000, 400, 21);
+        let mut sim = TrafficSim::new(cfg, stable_net(12, 11), &wave);
+        sim.preload();
+        let report = sim.run();
+        assert_eq!(report.lost_keys, 0, "joins never destroy data");
+        assert_eq!(report.final_peers, 18);
+        assert!(report.summary.availability > 0.95, "{}", report.summary);
+    }
+
+    #[test]
+    fn empty_network_loses_requests_gracefully() {
+        let topo = rechord_topology::TopologyKind::SortedLine.generate(1, 1);
+        let net = ReChordNetwork::from_topology(&topo, 1);
+        let mut cfg = steady_cfg(1);
+        cfg.traffic_end = 200;
+        // Single peer: everything routes to itself and succeeds locally.
+        let sim = TrafficSim::new(cfg, net, &TimedChurnPlan::default());
+        let report = sim.run();
+        assert!(report.summary.total > 0);
+        assert_eq!(report.summary.lost, 0);
+    }
+
+    #[test]
+    fn hot_key_schedule_fires() {
+        let mut cfg = steady_cfg(17);
+        cfg.traffic.mean_interarrival = 5.0;
+        cfg.traffic_end = 3_000;
+        let mut sim = TrafficSim::new(cfg, stable_net(10, 17), &TimedChurnPlan::default());
+        sim.preload();
+        sim.schedule_hot_key(1_000, Some((7, 0.9)));
+        sim.schedule_hot_key(2_000, None);
+        let report = sim.run();
+        let mid: Vec<_> = report
+            .sink
+            .outcomes()
+            .iter()
+            .filter(|o| (1_000..2_000).contains(&o.issued_at))
+            .collect();
+        let hot = mid.iter().filter(|o| o.key == 7).count();
+        assert!(hot * 10 > mid.len() * 7, "{hot}/{} mid-run requests on the hot key", mid.len());
+    }
+}

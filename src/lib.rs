@@ -10,6 +10,8 @@
 //!   churn plans;
 //! * [`routing`] runs Chord applications (greedy lookups, a DHT) on the
 //!   stabilized overlay;
+//! * [`workload`] drives discrete-event request traffic (latency, Zipf
+//!   popularity, SLO metrics) against the overlay *while it churns*;
 //! * [`chord`] is the classic-Chord baseline that the paper improves on;
 //! * [`analysis`] is the experiment harness behind the figure binaries in
 //!   `rechord-bench`.
@@ -44,3 +46,4 @@ pub use rechord_id as id;
 pub use rechord_routing as routing;
 pub use rechord_sim as sim;
 pub use rechord_topology as topology;
+pub use rechord_workload as workload;

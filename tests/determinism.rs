@@ -2,7 +2,8 @@
 //! runs are bit-identical across thread counts and repetitions.
 
 use rechord::core::network::ReChordNetwork;
-use rechord::topology::TopologyKind;
+use rechord::topology::{TimedChurnPlan, TopologyKind};
+use rechord::workload::{TrafficSim, WorkloadConfig};
 
 #[test]
 fn full_stabilization_identical_across_thread_counts() {
@@ -45,6 +46,28 @@ fn per_round_trajectories_match() {
             break;
         }
     }
+}
+
+#[test]
+fn workload_traces_are_bit_identical() {
+    // Identical seeds ⇒ byte-identical per-request traces and metric
+    // summaries, across repetitions AND engine thread counts — the whole
+    // discrete-event stack (arrivals, Zipf keys, latencies, hop-by-hop
+    // routing under churn, repair) is a pure function of the seed.
+    let run = |threads: usize| {
+        let (net, report) = ReChordNetwork::bootstrap_stable(16, 0x77, threads, 100_000);
+        assert!(report.converged);
+        let cfg = WorkloadConfig { seed: 0x77, traffic_end: 5_000, ..Default::default() };
+        let plan = TimedChurnPlan::storm(6, 0.5, 1_000, 300, 0x77);
+        let mut sim = TrafficSim::new(cfg, net, &plan);
+        sim.preload();
+        let r = sim.run();
+        (r.sink.trace(), r.summary.to_string(), r.rounds, r.final_peers)
+    };
+    let a = run(1);
+    assert!(!a.0.is_empty(), "the run produced a trace");
+    assert_eq!(a, run(1), "repetition must be bit-identical");
+    assert_eq!(a, run(4), "thread count must not leak into the workload");
 }
 
 #[test]

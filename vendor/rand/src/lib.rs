@@ -141,6 +141,99 @@ pub mod rngs {
     }
 }
 
+/// Non-uniform distributions, mirroring the `rand::distributions` /
+/// `rand_distr` surface the workspace uses (exponential inter-arrival
+/// times and Zipf key popularity for the traffic workloads).
+pub mod distributions {
+    use super::{RngCore, Standard};
+
+    /// Types that can be sampled from a distribution, mirroring
+    /// `rand::distributions::Distribution`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The exponential distribution `Exp(λ)` with rate `lambda` (mean
+    /// `1/λ`) — the inter-arrival law of a Poisson process, used for
+    /// open-loop request streams and latency jitter.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct Exp {
+        lambda: f64,
+    }
+
+    impl Exp {
+        /// A new exponential distribution. Panics unless `lambda` is finite
+        /// and strictly positive.
+        pub fn new(lambda: f64) -> Exp {
+            assert!(lambda.is_finite() && lambda > 0.0, "Exp rate must be finite and > 0");
+            Exp { lambda }
+        }
+
+        /// The distribution mean, `1/λ`.
+        pub fn mean(&self) -> f64 {
+            1.0 / self.lambda
+        }
+    }
+
+    impl Distribution<f64> for Exp {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // Inversion: u ∈ [0,1) so 1-u ∈ (0,1] and ln never sees zero.
+            let u = f64::sample(rng);
+            -(1.0 - u).ln() / self.lambda
+        }
+    }
+
+    /// The Zipf distribution over ranks `1..=n`: `P(k) ∝ k^-s`. `s = 0`
+    /// degenerates to the uniform distribution. Sampling is by binary
+    /// search over a precomputed CDF table — `O(n)` memory and setup,
+    /// `O(log n)` per draw, exactly reproducible across platforms.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct Zipf {
+        cdf: Vec<f64>,
+    }
+
+    impl Zipf {
+        /// A Zipf distribution over `1..=n` with exponent `s`. Panics if
+        /// `n == 0` or `s` is negative or non-finite.
+        pub fn new(n: u64, s: f64) -> Zipf {
+            assert!(n >= 1, "Zipf needs a non-empty rank universe");
+            assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0");
+            let mut cdf = Vec::with_capacity(n as usize);
+            let mut acc = 0.0f64;
+            for k in 1..=n {
+                acc += (k as f64).powf(-s);
+                cdf.push(acc);
+            }
+            Zipf { cdf }
+        }
+
+        /// Number of ranks, `n`.
+        pub fn n(&self) -> u64 {
+            self.cdf.len() as u64
+        }
+
+        /// The probability of rank `k` (1-based); `0` outside `1..=n`.
+        pub fn probability(&self, k: u64) -> f64 {
+            if k == 0 || k > self.n() {
+                return 0.0;
+            }
+            let i = (k - 1) as usize;
+            let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+            (self.cdf[i] - lo) / self.cdf[self.cdf.len() - 1]
+        }
+    }
+
+    impl Distribution<u64> for Zipf {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            let total = self.cdf[self.cdf.len() - 1];
+            let u = f64::sample(rng) * total;
+            let idx = self.cdf.partition_point(|&c| c <= u);
+            (idx as u64 + 1).min(self.n())
+        }
+    }
+}
+
 /// Sequence-related helpers, mirroring `rand::seq`.
 pub mod seq {
     use super::{RngCore, SampleRange};
@@ -206,6 +299,81 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         assert!(!rng.gen_bool(0.0));
         assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn exp_mean_and_determinism() {
+        use super::distributions::{Distribution, Exp};
+        let d = Exp::new(0.5);
+        assert_eq!(d.mean(), 2.0);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 50_000usize;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "empirical mean {mean} far from 2.0");
+        // same seed ⇒ same stream
+        let mut a = SmallRng::seed_from_u64(4);
+        let mut b = SmallRng::seed_from_u64(4);
+        for _ in 0..32 {
+            assert_eq!(d.sample(&mut a).to_bits(), d.sample(&mut b).to_bits());
+        }
+    }
+
+    #[test]
+    fn zipf_ranks_in_bounds_and_skewed() {
+        use super::distributions::{Distribution, Zipf};
+        let d = Zipf::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut counts = [0u64; 101];
+        let n = 100_000usize;
+        for _ in 0..n {
+            let k = d.sample(&mut rng);
+            assert!((1..=100).contains(&k), "rank {k} out of bounds");
+            counts[k as usize] += 1;
+        }
+        // P(1)/P(2) = 2^s = 2 for s = 1; allow sampling slack.
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 2.0).abs() < 0.3, "rank-1/rank-2 ratio {ratio} far from 2");
+        // empirical P(1) close to theoretical
+        let p1 = counts[1] as f64 / n as f64;
+        assert!((p1 - d.probability(1)).abs() < 0.01, "p1 {p1} vs {}", d.probability(1));
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        use super::distributions::{Distribution, Zipf};
+        let d = Zipf::new(10, 0.0);
+        for k in 1..=10 {
+            assert!((d.probability(k) - 0.1).abs() < 1e-12);
+        }
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut counts = [0u64; 11];
+        for _ in 0..20_000 {
+            counts[d.sample(&mut rng) as usize] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate().skip(1) {
+            assert!(c > 1_000, "rank {k} undersampled under s=0: {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        use super::distributions::Zipf;
+        let d = Zipf::new(64, 1.3);
+        let sum: f64 = (1..=64).map(|k| d.probability(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(d.probability(0), 0.0);
+        assert_eq!(d.probability(65), 0.0);
+    }
+
+    #[test]
+    fn zipf_determinism() {
+        use super::distributions::{Distribution, Zipf};
+        let d = Zipf::new(1000, 0.9);
+        let mut a = SmallRng::seed_from_u64(5);
+        let mut b = SmallRng::seed_from_u64(5);
+        let xs: Vec<u64> = (0..64).map(|_| d.sample(&mut a)).collect();
+        let ys: Vec<u64> = (0..64).map(|_| d.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
     }
 
     #[test]
