@@ -29,6 +29,16 @@ run cargo check --workspace --all-targets --offline
 #     under churn and recovers to 100% after re-stabilization).
 run cargo run --release --offline --bin traffic -- --smoke
 
+# 3c. The statistical SLO sweep (seeds × churn intensities) on its smoke
+#     grid: every cell must re-stabilize and recover, and the grid JSON
+#     must be written.
+run cargo run --release --offline --bin sweep -- --smoke
+
+# 3d. Placement-engine scale smoke in release mode: ≥100k keys / 256 peers,
+#     a single join/leave must repair far less than 20% of the keys, and
+#     the delta-vs-rebuild proptests must hold.
+run cargo test -q --release --offline -p rechord_placement
+
 # 4. Rustdoc must build warning-free (broken intra-doc links are bugs).
 RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace --offline
 

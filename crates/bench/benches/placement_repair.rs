@@ -1,0 +1,58 @@
+//! Full placement rebuild vs incremental `repair_delta`, at 10k / 100k / 1M
+//! keys on 256 peers — the speedup that unlocks million-key universes.
+//!
+//! `rebuild` re-examines every record (the pre-engine behavior of the
+//! workload simulator's fixpoint repair); `delta_join_leave` performs a
+//! complete churn cycle — one join, incremental repair, the same peer
+//! leaving gracefully, incremental repair — touching only the arcs adjacent
+//! to the changed peer. The acceptance bar is delta ≥ 10× faster than
+//! rebuild at 100k keys; in practice it is orders of magnitude (the gap
+//! widens linearly with the key count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rechord_id::IdSpace;
+use rechord_placement::{Departure, PlacementMap};
+
+const PEERS: u64 = 256;
+const REPLICATION: usize = 3;
+
+fn populated(keys: u64) -> (PlacementMap<()>, IdSpace) {
+    let space = IdSpace::new(0xbeef);
+    let peers: Vec<_> = (0..PEERS).map(|a| space.ident_of(a)).collect();
+    let mut pm = PlacementMap::from_peers(&peers, REPLICATION);
+    for k in 0..keys {
+        pm.put(space.key_position(k), k, 0, ());
+    }
+    (pm, space)
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_repair");
+    for &keys in &[10_000u64, 100_000, 1_000_000] {
+        {
+            let (mut pm, _) = populated(keys);
+            group.bench_with_input(BenchmarkId::new("rebuild", keys), &keys, |b, _| {
+                b.iter(|| pm.rebuild().keys_examined)
+            });
+        }
+        {
+            let (mut pm, space) = populated(keys);
+            let mut joiner_addr = PEERS;
+            group.bench_with_input(BenchmarkId::new("delta_join_leave", keys), &keys, |b, _| {
+                b.iter(|| {
+                    joiner_addr += 1;
+                    let joiner = space.ident_of(joiner_addr);
+                    pm.apply_join(joiner);
+                    let s1 = pm.repair_delta();
+                    pm.apply_leave(joiner, Departure::Graceful);
+                    let s2 = pm.repair_delta();
+                    s1.keys_examined + s2.keys_examined
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair);
+criterion_main!(benches);

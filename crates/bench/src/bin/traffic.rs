@@ -68,6 +68,7 @@ fn base_config(seed: u64, k: &Knobs) -> WorkloadConfig {
         hop_budget: 128,
         max_rounds: 100_000,
         detection_lag: 250,
+        service_time: 2, // finite per-peer capacity: loaded peers queue
     }
 }
 
@@ -152,7 +153,8 @@ fn main() {
     let scenarios = vec![steady_state(&k), flash_crowd(&k), churn_storm(&k), partition_heal(&k)];
 
     let mut table = Table::new(&[
-        "scenario", "reqs", "avail", "p50", "p90", "p99", "hops", "req/ktick", "rounds", "lost_keys",
+        "scenario", "reqs", "avail", "p50", "p90", "p99", "hops", "req/ktick", "rounds",
+        "lost_keys", "repairs", "keys_moved",
     ]);
     for s in &scenarios {
         let sum = &s.report.summary;
@@ -167,6 +169,8 @@ fn main() {
             format!("{:.1}", sum.throughput_per_ktick),
             s.report.rounds.to_string(),
             s.report.lost_keys.to_string(),
+            sum.repairs.to_string(),
+            sum.repair_keys_moved.to_string(),
         ]);
     }
     table.print();
@@ -219,6 +223,17 @@ fn main() {
     let after = storm.availability_between(tail_from, k.horizon + 1);
     assert!(during < 1.0, "churn storm must degrade availability (got {during:.4})");
     assert!(storm.report.stable_at_end, "storm run must end re-stabilized");
+    // The placement engine's repair metrics: churn dirties arcs, fixpoints
+    // repair them, and the incremental pass never scans every arc.
+    let storm_sum = &storm.report.summary;
+    assert!(storm_sum.repairs > 0, "storm fixpoints must run repairs");
+    assert!(storm_sum.repair_keys_moved > 0, "storm churn must move keys");
+    let widest = storm.report.sink.repairs().iter().map(|r| r.stats.arcs_touched).max().unwrap();
+    assert!(
+        widest < storm.report.final_peers,
+        "incremental repair touched {widest} arcs of {} peers",
+        storm.report.final_peers
+    );
     if smoke {
         assert_eq!(after, 1.0, "availability must recover to 100% after re-stabilization");
         assert_eq!(storm.report.lost_keys, 0, "replication 3 survives the smoke storm");

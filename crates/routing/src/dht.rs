@@ -1,10 +1,16 @@
 //! A consistent-hashing key-value store on the Re-Chord overlay — the kind
 //! of application Chord was built for (§1 of the Chord paper), running
 //! unchanged on Re-Chord per Fact 2.1.
+//!
+//! Routing (who answers) lives here; placement (who *stores*) is delegated
+//! to the shared [`PlacementMap`] engine, so the replica-set arithmetic is
+//! the same one the workload simulator uses and repair after churn is
+//! incremental — O(moved keys), not O(all keys).
 
 use crate::greedy::{route, RoutingTable};
 use rechord_id::{IdSpace, Ident};
-use std::collections::BTreeMap;
+use rechord_placement::{Departure, PlacementMap, RepairStats};
+use std::collections::BTreeSet;
 
 /// What a `get`/`put` experienced.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,8 +34,10 @@ pub struct LookupOutcome {
 pub struct KvStore {
     table: RoutingTable,
     space: IdSpace,
-    replication: usize,
-    storage: BTreeMap<Ident, BTreeMap<u64, String>>,
+    placement: PlacementMap<String>,
+    /// Monotone write counter: the version stream the engine orders
+    /// last-write-wins by.
+    writes: u64,
 }
 
 impl KvStore {
@@ -43,39 +51,45 @@ impl KvStore {
     /// and its `replication - 1` cyclic successors (Chord's successor-list
     /// replication; `replication` is clamped to at least 1).
     pub fn with_replication(table: RoutingTable, space: IdSpace, replication: usize) -> Self {
-        KvStore { table, space, replication: replication.max(1), storage: BTreeMap::new() }
+        let placement = PlacementMap::from_peers(table.peers(), replication);
+        KvStore { table, space, placement, writes: 0 }
     }
 
     /// The responsible peer plus its replication successors for a ring
     /// position, deduplicated (small networks may have fewer peers than
-    /// replicas).
+    /// replicas). Delegates to the one engine implementation shared with
+    /// the workload simulator.
     pub fn replica_peers(&self, pos: Ident) -> Vec<Ident> {
-        let peers = self.table.peers();
-        if peers.is_empty() {
-            return Vec::new();
-        }
-        let start = match peers.binary_search(&pos) {
-            Ok(i) => i,
-            Err(i) if i < peers.len() => i,
-            Err(_) => 0,
-        };
-        (0..self.replication.min(peers.len()))
-            .map(|k| peers[(start + k) % peers.len()])
-            .collect()
+        self.placement.replica_set(pos)
     }
 
-    /// Swaps in a freshly stabilized routing view, dropping data held by
-    /// peers that no longer exist. Keys whose responsible peer changed are
-    /// still found through surviving replicas.
-    pub fn rebuild(&mut self, table: RoutingTable) {
-        let alive: std::collections::BTreeSet<Ident> = table.peers().iter().copied().collect();
-        self.storage.retain(|peer, _| alive.contains(peer));
+    /// Swaps in a freshly stabilized routing view: peers that vanished are
+    /// treated as crashes (their copies die with them), new peers join, and
+    /// an incremental repair re-replicates exactly the keys whose replica
+    /// sets changed — O(moved keys), not O(all keys). Returns what the
+    /// repair did.
+    pub fn rebuild(&mut self, table: RoutingTable) -> RepairStats {
+        let fresh: BTreeSet<Ident> = table.peers().iter().copied().collect();
+        let old: Vec<Ident> = self.placement.peers().to_vec();
+        for peer in old.iter().filter(|p| !fresh.contains(p)) {
+            self.placement.apply_leave(*peer, Departure::Crash);
+        }
+        let old: BTreeSet<Ident> = old.into_iter().collect();
+        for &peer in table.peers().iter().filter(|p| !old.contains(p)) {
+            self.placement.apply_join(peer);
+        }
         self.table = table;
+        self.placement.repair_delta()
     }
 
     /// The routing table in use.
     pub fn table(&self) -> &RoutingTable {
         &self.table
+    }
+
+    /// The placement engine underneath (replica sets, loads, repair state).
+    pub fn placement(&self) -> &PlacementMap<String> {
+        &self.placement
     }
 
     /// Stores `value` under `key`, issued from peer `via`. Returns the
@@ -87,10 +101,8 @@ impl KvStore {
         let r = route(&self.table, via, pos);
         let outcome = LookupOutcome { responsible, hops: r.hops(), routed: r.success };
         if r.success {
-            let value = value.into();
-            for peer in self.replica_peers(pos) {
-                self.storage.entry(peer).or_default().insert(key, value.clone());
-            }
+            self.writes += 1;
+            self.placement.put(pos, key, self.writes, value.into());
         }
         Some(outcome)
     }
@@ -106,30 +118,28 @@ impl KvStore {
         if !r.success {
             return Some((None, outcome));
         }
-        for peer in self.replica_peers(pos) {
-            if let Some(v) = self.storage.get(&peer).and_then(|m| m.get(&key)) {
-                return Some((Some(v.as_str()), outcome));
+        let probe = self.placement.lookup(pos, key);
+        match probe.hit {
+            Some((misses, rec)) => {
+                outcome.hops += misses; // successor probes before the hit
+                Some((Some(rec.value.as_str()), outcome))
             }
-            outcome.hops += 1; // walked one successor further
+            None => {
+                outcome.hops += probe.replicas; // probed the whole window
+                Some((None, outcome))
+            }
         }
-        Some((None, outcome))
     }
 
     /// Number of keys stored at `peer`.
     pub fn load_of(&self, peer: Ident) -> usize {
-        self.storage.get(&peer).map(BTreeMap::len).unwrap_or(0)
+        self.placement.load_of(peer)
     }
 
     /// `(max load, mean load)` over all peers — consistent hashing's load
     /// balance (`O(log n)` imbalance factor w.h.p.).
     pub fn load_balance(&self) -> (usize, f64) {
-        let peers = self.table.peers();
-        if peers.is_empty() {
-            return (0, 0.0);
-        }
-        let total: usize = peers.iter().map(|p| self.load_of(*p)).sum();
-        let max = peers.iter().map(|p| self.load_of(*p)).max().unwrap_or(0);
-        (max, total as f64 / peers.len() as f64)
+        self.placement.load_balance()
     }
 }
 

@@ -11,7 +11,9 @@
 //!   discrete-event workloads that re-read the live overlay between hops;
 //! * [`KvStore`] — consistent-hashing key-value storage where the key's
 //!   cyclic successor peer is responsible, with puts/gets resolved by
-//!   routing.
+//!   routing and placement delegated to the shared
+//!   [`rechord_placement::PlacementMap`] engine (incremental repair after
+//!   churn).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

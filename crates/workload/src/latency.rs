@@ -1,8 +1,11 @@
-//! Per-link latency models: how many virtual ticks one overlay hop takes.
+//! Per-link latency models — how many virtual ticks one overlay hop takes —
+//! and per-peer service capacity (queueing delay at a loaded peer).
 
 use rand::distributions::{Distribution, Exp};
 use rand::rngs::SmallRng;
 use rand::Rng;
+use rechord_id::Ident;
+use std::collections::BTreeMap;
 
 /// The latency law applied to every peer-to-peer hop (local steps through a
 /// peer's own virtual nodes are free — the peer simulates them in memory).
@@ -55,6 +58,55 @@ impl LatencyModel {
     }
 }
 
+/// Deterministic per-peer service capacity: a peer serves one request per
+/// `service_time` ticks, FIFO, so a hop *through a loaded peer* waits for
+/// the backlog ahead of it — queueing delay without randomness.
+///
+/// `service_time == 0` models infinite service rate (no queueing, no
+/// bookkeeping): the pre-capacity behavior of the simulator.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceQueue {
+    service_time: u64,
+    /// Virtual instant each peer's server frees up (absent = idle forever).
+    next_free: BTreeMap<Ident, u64>,
+}
+
+impl ServiceQueue {
+    /// A queue where every peer serves one request per `service_time` ticks.
+    pub fn new(service_time: u64) -> Self {
+        ServiceQueue { service_time, next_free: BTreeMap::new() }
+    }
+
+    /// Ticks one request occupies a peer's server (0 = infinite capacity).
+    pub fn service_time(&self) -> u64 {
+        self.service_time
+    }
+
+    /// Admits a request arriving at `peer` at instant `arrival`; returns
+    /// when the peer is done serving it. An idle peer serves immediately
+    /// (`arrival + service_time`); a busy one appends the request to its
+    /// FIFO backlog.
+    pub fn admit(&mut self, peer: Ident, arrival: u64) -> u64 {
+        if self.service_time == 0 {
+            return arrival;
+        }
+        let free = self.next_free.entry(peer).or_insert(0);
+        let done = arrival.max(*free) + self.service_time;
+        *free = done;
+        done
+    }
+
+    /// How many ticks of backlog `peer` has at instant `now`.
+    pub fn backlog_of(&self, peer: Ident, now: u64) -> u64 {
+        self.next_free.get(&peer).map_or(0, |f| f.saturating_sub(now))
+    }
+
+    /// Forgets a departed peer's backlog.
+    pub fn forget(&mut self, peer: Ident) {
+        self.next_free.remove(&peer);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +146,37 @@ mod tests {
         assert!((mean - 20.0).abs() < 1.0, "empirical mean {mean}");
         // never zero
         assert!((0..1000).all(|_| m.sample(&mut rng) >= 1));
+    }
+
+    #[test]
+    fn service_queue_builds_deterministic_backlog() {
+        let p = Ident::from_raw(7);
+        let q2 = Ident::from_raw(9);
+        let mut q = ServiceQueue::new(10);
+        assert_eq!(q.service_time(), 10);
+        // Idle peer: served immediately.
+        assert_eq!(q.admit(p, 100), 110);
+        // Arriving while busy: queue behind the previous request.
+        assert_eq!(q.admit(p, 105), 120);
+        assert_eq!(q.admit(p, 105), 130);
+        assert_eq!(q.backlog_of(p, 105), 25);
+        // Another peer is unaffected.
+        assert_eq!(q.admit(q2, 105), 115);
+        // After the backlog drains the peer is idle again.
+        assert_eq!(q.admit(p, 500), 510);
+        assert_eq!(q.backlog_of(q2, 400), 0);
+        q.forget(p);
+        assert_eq!(q.backlog_of(p, 0), 0);
+    }
+
+    #[test]
+    fn zero_service_time_is_infinite_capacity() {
+        let p = Ident::from_raw(1);
+        let mut q = ServiceQueue::new(0);
+        for t in 0..100 {
+            assert_eq!(q.admit(p, t), t, "no queueing at infinite rate");
+        }
+        assert_eq!(q.backlog_of(p, 0), 0);
     }
 
     #[test]

@@ -13,12 +13,15 @@
 //! * [`TrafficGen`] — Poisson arrivals over Zipf key popularity, with a
 //!   hot-key override for flash crowds;
 //! * [`LatencyModel`] — fixed / uniform / exponential per-hop delays;
+//! * [`ServiceQueue`] — per-peer service capacity: a hop through a loaded
+//!   peer pays deterministic FIFO queueing delay;
 //! * request lifecycle — hop-by-hop greedy routing that re-reads the live
 //!   routing table between hops (requests issued mid-stabilization can
-//!   stall, retry, or be lost), successor-list replication with an
-//!   anti-entropy repair pass at each fixpoint;
+//!   stall, retry, or be lost), successor-list replication through the
+//!   shared `rechord_placement` engine with an **incremental** anti-entropy
+//!   repair pass at each fixpoint (O(moved keys), not O(all keys));
 //! * [`SloSink`] — p50/p90/p99 virtual latency, availability, throughput,
-//!   and windowed timelines.
+//!   windowed timelines, and per-repair cost records ([`RepairEvent`]).
 //!
 //! ```
 //! use rechord_core::network::ReChordNetwork;
@@ -46,6 +49,6 @@ mod sim;
 
 pub use event::EventQueue;
 pub use generator::{Op, Request, TrafficConfig, TrafficGen};
-pub use latency::LatencyModel;
-pub use metrics::{OutcomeKind, RequestOutcome, SloSink, SloSummary, WindowStat};
+pub use latency::{LatencyModel, ServiceQueue};
+pub use metrics::{OutcomeKind, RepairEvent, RequestOutcome, SloSink, SloSummary, WindowStat};
 pub use sim::{SimReport, TrafficSim, WorkloadConfig};

@@ -4,7 +4,18 @@
 
 use crate::generator::Op;
 use rechord_analysis::Histogram;
+use rechord_placement::RepairStats;
 use std::fmt;
+
+/// One anti-entropy repair pass, stamped with the virtual instant the
+/// overlay reached its fixpoint and the pass ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepairEvent {
+    /// Virtual time of the stabilization fixpoint that triggered the pass.
+    pub at: u64,
+    /// What the incremental pass did (keys moved, arcs touched, copies).
+    pub stats: RepairStats,
+}
 
 /// How a request ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,13 +95,22 @@ pub struct SloSummary {
     pub availability: f64,
     /// Successful requests per 1000 ticks of the span they occupied.
     pub throughput_per_ktick: f64,
+    /// Anti-entropy repair passes run at stabilization fixpoints.
+    pub repairs: usize,
+    /// Keys whose replica set actually changed, totalled across repairs.
+    pub repair_keys_moved: usize,
+    /// Ring arcs examined, totalled across repairs (the incremental-repair
+    /// cost — a full rebuild would examine every arc every time).
+    pub repair_arcs_touched: usize,
+    /// Virtual instant of the last repair pass (0 when none ran).
+    pub last_repair_at: u64,
 }
 
 impl fmt::Display for SloSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} reqs | avail {:.4} ({} ok / {} stale / {} lost) | latency p50/p90/p99/max {}/{}/{}/{} | {:.2} hops | {:.1} req/ktick",
+            "{} reqs | avail {:.4} ({} ok / {} stale / {} lost) | latency p50/p90/p99/max {}/{}/{}/{} | {:.2} hops | {:.1} req/ktick | {} repairs ({} keys moved, {} arcs)",
             self.total,
             self.availability,
             self.success,
@@ -101,7 +121,10 @@ impl fmt::Display for SloSummary {
             self.p99,
             self.max_latency,
             self.mean_hops,
-            self.throughput_per_ktick
+            self.throughput_per_ktick,
+            self.repairs,
+            self.repair_keys_moved,
+            self.repair_arcs_touched
         )
     }
 }
@@ -135,6 +158,7 @@ impl WindowStat {
 #[derive(Debug, Default)]
 pub struct SloSink {
     outcomes: Vec<RequestOutcome>,
+    repairs: Vec<RepairEvent>,
 }
 
 fn percentile(sorted: &[u64], q: f64) -> u64 {
@@ -154,6 +178,16 @@ impl SloSink {
     /// Records one completed request.
     pub fn record(&mut self, outcome: RequestOutcome) {
         self.outcomes.push(outcome);
+    }
+
+    /// Records one anti-entropy repair pass at virtual instant `at`.
+    pub fn record_repair(&mut self, at: u64, stats: RepairStats) {
+        self.repairs.push(RepairEvent { at, stats });
+    }
+
+    /// All repair passes, in virtual-time order.
+    pub fn repairs(&self) -> &[RepairEvent] {
+        &self.repairs
     }
 
     /// All outcomes, in completion order.
@@ -191,6 +225,10 @@ impl SloSink {
             .map(|o| o.hops as u64)
             .sum();
         let span = self.span().max(1);
+        let mut repair_total = RepairStats::default();
+        for r in &self.repairs {
+            repair_total.merge(r.stats);
+        }
         SloSummary {
             total,
             success,
@@ -203,6 +241,10 @@ impl SloSink {
             mean_hops: if success == 0 { 0.0 } else { hops as f64 / success as f64 },
             availability: if total == 0 { 1.0 } else { success as f64 / total as f64 },
             throughput_per_ktick: success as f64 * 1000.0 / span as f64,
+            repairs: self.repairs.len(),
+            repair_keys_moved: repair_total.keys_moved,
+            repair_arcs_touched: repair_total.arcs_touched,
+            last_repair_at: self.repairs.last().map_or(0, |r| r.at),
         }
     }
 
@@ -364,6 +406,27 @@ mod tests {
         let h = s.latency_histogram(50, 10);
         assert_eq!(h.count(), 1);
         assert_eq!(h.max(), 10);
+    }
+
+    #[test]
+    fn repair_events_total_into_the_summary() {
+        let mut s = SloSink::new();
+        assert!(s.repairs().is_empty());
+        s.record_repair(
+            1_000,
+            RepairStats { arcs_touched: 3, keys_examined: 40, keys_moved: 12, copies_added: 12, copies_dropped: 5 },
+        );
+        s.record_repair(
+            2_500,
+            RepairStats { arcs_touched: 2, keys_examined: 10, keys_moved: 4, copies_added: 4, copies_dropped: 4 },
+        );
+        let sum = s.summary();
+        assert_eq!(sum.repairs, 2);
+        assert_eq!(sum.repair_keys_moved, 16);
+        assert_eq!(sum.repair_arcs_touched, 5);
+        assert_eq!(sum.last_repair_at, 2_500);
+        let text = format!("{sum}");
+        assert!(text.contains("2 repairs (16 keys moved, 5 arcs)"), "{text}");
     }
 
     #[test]

@@ -10,21 +10,28 @@
 //!
 //! Storage follows Chord's successor-list replication: a put writes the
 //! responsible peer and its `replication - 1` cyclic successors; a get
-//! probes the same set (one extra hop per miss). When a round leaves the
-//! network stable again, an anti-entropy pass re-replicates every surviving
-//! acknowledged key onto its current replica set.
+//! probes the same set (one extra hop per miss). Placement itself — which
+//! peers hold which keys — is owned by the shared
+//! [`rechord_placement::PlacementMap`] engine: churn events become arc
+//! split/merge deltas (graceful leaves hand their copies to the successor,
+//! crashes lose them), and when a round leaves the network stable again an
+//! **incremental** anti-entropy pass re-replicates only the arcs adjacent
+//! to the changed peers — O(moved keys), not O(all keys) — with its cost
+//! (keys moved, arcs touched, fixpoint instant) recorded in the
+//! [`SloSink`].
 
 use crate::event::EventQueue;
 use crate::generator::{Op, Request, TrafficConfig, TrafficGen};
-use crate::latency::LatencyModel;
+use crate::latency::{LatencyModel, ServiceQueue};
 use crate::metrics::{OutcomeKind, RequestOutcome, SloSink, SloSummary};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rechord_core::network::ReChordNetwork;
 use rechord_id::{IdSpace, Ident};
+use rechord_placement::{Departure, PlacementMap};
 use rechord_routing::{route_step, HopDecision, RoutingTable};
 use rechord_topology::{ChurnEvent, TimedChurnPlan};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Everything that parameterizes a workload run (traffic shape aside, see
 /// [`TrafficConfig`]).
@@ -60,6 +67,10 @@ pub struct WorkloadConfig {
     /// forwarded to it bounce and retry) before the full view is scrubbed.
     /// `0` models an oracle failure detector.
     pub detection_lag: u64,
+    /// Per-peer service capacity: ticks one request occupies the receiving
+    /// peer's server, FIFO — a hop through a loaded peer waits for the
+    /// backlog ahead of it. `0` models infinite service rate (no queueing).
+    pub service_time: u64,
 }
 
 impl Default for WorkloadConfig {
@@ -77,6 +88,7 @@ impl Default for WorkloadConfig {
             hop_budget: 128,
             max_rounds: 50_000,
             detection_lag: 200,
+            service_time: 0,
         }
     }
 }
@@ -102,8 +114,11 @@ pub struct SimReport {
 enum SimEvent {
     /// The open-loop generator fires (and reschedules itself).
     Arrival,
-    /// A request arrives at `peer` after a network hop.
+    /// A request arrives at `peer` after a network hop (it still has to be
+    /// admitted through the peer's service queue).
     Hop(InFlight),
+    /// The receiving peer's server gets to the request (post-queueing).
+    Serve(InFlight),
     /// One protocol round.
     Round,
     /// A scheduled churn event strikes.
@@ -131,8 +146,11 @@ pub struct TrafficSim {
     gen: TrafficGen,
     rng: SmallRng,
     queue: EventQueue<SimEvent>,
-    /// peer -> key -> version (a put's request id).
-    storage: BTreeMap<Ident, BTreeMap<u64, u64>>,
+    /// Who stores what: the shared placement engine (replica sets, handoff,
+    /// crash loss, incremental repair). Versions are put request ids.
+    placement: PlacementMap<()>,
+    /// Per-peer FIFO service capacity (queueing delay at loaded peers).
+    service: ServiceQueue,
     /// Keys whose put (or preload) was acknowledged to a client.
     acked: BTreeSet<u64>,
     sink: SloSink,
@@ -163,11 +181,12 @@ impl TrafficSim {
             gen: TrafficGen::new(cfg.traffic, cfg.seed),
             rng: SmallRng::seed_from_u64(cfg.seed ^ 0x6c61_7465_6e63_7921),
             pending_churn: churn.len(),
+            placement: PlacementMap::from_peers(table.peers(), cfg.replication),
+            service: ServiceQueue::new(cfg.service_time),
             cfg,
             net,
             table,
             queue,
-            storage: BTreeMap::new(),
             acked: BTreeSet::new(),
             sink: SloSink::new(),
             churn_applied: 0,
@@ -187,7 +206,7 @@ impl TrafficSim {
     /// set, acknowledged — so gets have something to find from tick one.
     pub fn preload(&mut self) {
         for key in 1..=self.gen.config().key_universe {
-            self.place(key, 0);
+            self.placement.put(self.space.key_position(key), key, 0, ());
             self.acked.insert(key);
         }
     }
@@ -199,16 +218,19 @@ impl TrafficSim {
         while let Some((_, ev)) = self.queue.pop() {
             match ev {
                 SimEvent::Arrival => self.on_arrival(),
-                SimEvent::Hop(f) => self.advance(f),
+                SimEvent::Hop(f) => self.on_hop(f),
+                SimEvent::Serve(f) => self.advance(f),
                 SimEvent::Round => self.on_round(),
                 SimEvent::Churn(e) => self.on_churn(e),
                 SimEvent::SetHotKey(h) => self.gen.set_hot_key(h),
                 SimEvent::RefreshTable => self.table.refresh_from_network(&self.net),
             }
         }
-        let held: BTreeSet<u64> =
-            self.storage.values().flat_map(|m| m.keys().copied()).collect();
-        let lost_keys = self.acked.difference(&held).count();
+        let lost_keys = self
+            .acked
+            .iter()
+            .filter(|&&key| !self.placement.contains(self.space.key_position(key), key))
+            .count();
         SimReport {
             summary: self.sink.summary(),
             sink: self.sink,
@@ -230,7 +252,9 @@ impl TrafficSim {
         }
         match self.pick_entry_peer() {
             Some(via) => {
-                self.advance(InFlight { req, peer: via, cursor: via, hops: 0, retries: 0 });
+                // Entering the system is an arrival at the entry peer: it
+                // pays the same service-queue admission a hop or retry does.
+                self.on_hop(InFlight { req, peer: via, cursor: via, hops: 0, retries: 0 });
             }
             None => self.sink.record(RequestOutcome {
                 id: req.id,
@@ -254,9 +278,15 @@ impl TrafficSim {
             self.was_stable = false;
         } else {
             if !self.was_stable {
-                // Just reached a fixpoint: anti-entropy pass re-replicates
-                // surviving acknowledged data onto the current replica sets.
-                self.repair();
+                // Just reached a fixpoint: the incremental anti-entropy pass
+                // re-replicates surviving data onto its current replica sets
+                // — only the arcs dirtied by churn since the last repair. A
+                // fixpoint with nothing dirty (e.g. the first round of an
+                // already-placed run) records no repair event.
+                let stats = self.placement.repair_delta();
+                if stats.arcs_touched > 0 {
+                    self.sink.record_repair(self.queue.now(), stats);
+                }
             }
             self.was_stable = true;
         }
@@ -280,32 +310,26 @@ impl TrafficSim {
             match event {
                 ChurnEvent::Join { .. } => {
                     // Only the joiner's state is new; everyone else is
-                    // untouched until the next round.
+                    // untouched until the next round. The engine splits the
+                    // joiner's arc off its successor and marks the window
+                    // dirty for the next fixpoint repair.
                     self.table.refresh_peer(&self.net, peer);
+                    self.placement.apply_join(peer);
                 }
                 ChurnEvent::GracefulLeave => {
-                    // The leaver hands its data to the next peer clockwise
+                    // The leaver hands its copies to the next peer clockwise
                     // before disappearing (a polite shutdown drains itself).
-                    let data = self.storage.remove(&peer);
                     self.table.refresh_from_network(&self.net);
-                    if let (Some(data), Some(succ)) = (data, self.successor_peer(peer)) {
-                        let target = self.storage.entry(succ).or_default();
-                        for (key, ver) in data {
-                            // Max-merge: never let a stale copy shadow the
-                            // leaver's newer version of the same key.
-                            target
-                                .entry(key)
-                                .and_modify(|v| *v = (*v).max(ver))
-                                .or_insert(ver);
-                        }
-                    }
+                    self.placement.apply_leave(peer, Departure::Graceful);
+                    self.service.forget(peer);
                 }
                 ChurnEvent::Crash => {
                     // Data dies with the peer, and the peer itself is gone
                     // — but survivors only notice once the failure detector
                     // fires: until then the table keeps routing through the
                     // ghost and requests bounce off it.
-                    self.storage.remove(&peer);
+                    self.placement.apply_leave(peer, Departure::Crash);
+                    self.service.forget(peer);
                     self.table.remove_peer(peer);
                     let at = self.queue.now() + self.cfg.detection_lag;
                     self.queue.push(at, SimEvent::RefreshTable);
@@ -319,6 +343,26 @@ impl TrafficSim {
     }
 
     // ---- request lifecycle ------------------------------------------------
+
+    /// A hop lands at its receiving peer: admit it through the peer's
+    /// service queue. Hop events fire in virtual-time order, so admission is
+    /// FIFO in *arrival* order; a loaded peer parks the request until its
+    /// server gets to it (deterministic queueing delay).
+    fn on_hop(&mut self, f: InFlight) {
+        if self.table.knowledge_of(f.peer).is_none() {
+            // The receiving peer died while the hop was in flight: nothing
+            // is there to serve it (and its forgotten service queue must not
+            // be resurrected) — bounce straight to the retry path.
+            return self.retry(f);
+        }
+        let now = self.queue.now();
+        let served_at = self.service.admit(f.peer, now);
+        if served_at > now {
+            self.queue.push(served_at, SimEvent::Serve(f));
+        } else {
+            self.advance(f);
+        }
+    }
 
     /// Drives a request from its current resident peer: free local steps
     /// until the route either needs a network hop (scheduled with sampled
@@ -343,8 +387,8 @@ impl TrafficSim {
                     }
                     f.peer = peer;
                     let lat = self.cfg.latency.sample(&mut self.rng);
-                    let at = self.queue.now() + lat;
-                    return self.queue.push(at, SimEvent::Hop(f));
+                    let arrival = self.queue.now() + lat;
+                    return self.queue.push(arrival, SimEvent::Hop(f));
                 }
                 HopDecision::Stuck => return self.retry(f),
             }
@@ -370,27 +414,22 @@ impl TrafficSim {
     fn complete(&mut self, mut f: InFlight, key_pos: Ident) {
         match f.req.op {
             Op::Put => {
-                self.place(f.req.key, f.req.id);
+                self.placement.put(key_pos, f.req.key, f.req.id, ());
                 self.acked.insert(f.req.key);
                 self.finish(f, OutcomeKind::Success);
             }
             Op::Get => {
-                let replicas = self.replica_peers(key_pos);
-                let mut found = false;
-                for (probes, peer) in replicas.iter().enumerate() {
-                    if self.storage.get(peer).is_some_and(|m| m.contains_key(&f.req.key)) {
-                        found = true;
+                let probe = self.placement.lookup(key_pos, f.req.key);
+                let kind = match probe.hit {
+                    Some((probes, _)) => {
                         f.hops += probes as u32; // each successor probe is a hop
-                        break;
+                        OutcomeKind::Success
                     }
-                }
-                let kind = if found {
-                    OutcomeKind::Success
-                } else if self.acked.contains(&f.req.key) {
-                    f.hops += (replicas.len() as u32).saturating_sub(1);
-                    OutcomeKind::StaleRead
-                } else {
-                    OutcomeKind::Success // clean empty read: key never written
+                    None if self.acked.contains(&f.req.key) => {
+                        f.hops += (probe.replicas as u32).saturating_sub(1);
+                        OutcomeKind::StaleRead
+                    }
+                    None => OutcomeKind::Success, // clean empty read: key never written
                 };
                 self.finish(f, kind);
             }
@@ -410,53 +449,9 @@ impl TrafficSim {
         });
     }
 
-    // ---- storage & placement ----------------------------------------------
-
-    /// The responsible peer plus replication successors for a ring position
-    /// (deduplicated by clamping to the population).
-    fn replica_peers(&self, pos: Ident) -> Vec<Ident> {
-        let peers = self.table.peers();
-        if peers.is_empty() {
-            return Vec::new();
-        }
-        let start = match peers.binary_search(&pos) {
-            Ok(i) => i,
-            Err(i) if i < peers.len() => i,
-            Err(_) => 0,
-        };
-        (0..self.cfg.replication.max(1).min(peers.len()))
-            .map(|k| peers[(start + k) % peers.len()])
-            .collect()
-    }
-
-    fn place(&mut self, key: u64, version: u64) {
-        let pos = self.space.key_position(key);
-        for peer in self.replica_peers(pos) {
-            self.storage.entry(peer).or_default().insert(key, version);
-        }
-    }
-
-    /// Re-replicates every surviving key onto its current replica set and
-    /// drops stale copies — Chord's successor-list maintenance, run when the
-    /// overlay reaches a fixpoint.
-    fn repair(&mut self) {
-        let mut best: BTreeMap<u64, u64> = BTreeMap::new();
-        for m in self.storage.values() {
-            for (&key, &ver) in m {
-                best.entry(key).and_modify(|b| *b = (*b).max(ver)).or_insert(ver);
-            }
-        }
-        let mut fresh: BTreeMap<Ident, BTreeMap<u64, u64>> = BTreeMap::new();
-        for (&key, &ver) in &best {
-            let pos = self.space.key_position(key);
-            for peer in self.replica_peers(pos) {
-                fresh.entry(peer).or_default().insert(key, ver);
-            }
-        }
-        self.storage = fresh;
-    }
-
     // ---- helpers ----------------------------------------------------------
+    // (All placement arithmetic — replica sets, handoff, repair — lives in
+    // the shared `rechord_placement` engine; nothing is duplicated here.)
 
     fn pick_entry_peer(&mut self) -> Option<Ident> {
         let peers = self.table.peers();
@@ -464,19 +459,6 @@ impl TrafficSim {
             return None;
         }
         Some(peers[self.rng.gen_range(0..peers.len())])
-    }
-
-    /// The cyclic successor of a *departed* peer's position among the
-    /// current peers.
-    fn successor_peer(&self, departed: Ident) -> Option<Ident> {
-        let peers = self.table.peers();
-        if peers.is_empty() {
-            return None;
-        }
-        let i = match peers.binary_search(&departed) {
-            Ok(i) | Err(i) => i,
-        };
-        Some(peers[i % peers.len()])
     }
 
     fn schedule_round(&mut self) {
@@ -579,6 +561,61 @@ mod tests {
         let report = sim.run();
         assert!(report.summary.total > 0);
         assert_eq!(report.summary.lost, 0);
+    }
+
+    #[test]
+    fn service_capacity_adds_deterministic_queueing_delay() {
+        // Same seed, same traffic: finite per-peer service rate must slow
+        // requests down (hops queue behind each other at loaded peers) but
+        // never fail them — and stay bit-deterministic.
+        let run = |service_time: u64| {
+            let mut cfg = steady_cfg(21);
+            cfg.traffic.mean_interarrival = 4.0; // enough load to collide
+            cfg.service_time = service_time;
+            let mut sim = TrafficSim::new(cfg, stable_net(10, 21), &TimedChurnPlan::default());
+            sim.preload();
+            let r = sim.run();
+            (r.summary.p50, r.summary.p99, r.summary.availability, r.sink.trace())
+        };
+        let (p50_inf, p99_inf, avail_inf, _) = run(0);
+        let (p50_q, p99_q, avail_q, trace_q) = run(8);
+        assert_eq!(avail_inf, 1.0);
+        assert_eq!(avail_q, 1.0, "queueing delays, never fails");
+        assert!(p50_q > p50_inf, "finite capacity must raise p50 ({p50_inf} -> {p50_q})");
+        assert!(p99_q >= p99_inf);
+        assert_eq!(trace_q, run(8).3, "queueing is deterministic");
+    }
+
+    #[test]
+    fn fixpoint_repairs_are_incremental_and_recorded() {
+        let mut cfg = steady_cfg(7);
+        cfg.traffic_end = 16_000;
+        cfg.replication = 3;
+        let storm = TimedChurnPlan::storm(6, 0.5, 2_000, 400, 5);
+        let mut sim = TrafficSim::new(cfg, stable_net(20, 7), &storm);
+        sim.preload();
+        let report = sim.run();
+        let universe = 64usize; // steady_cfg key universe
+        let repairs = report.sink.repairs();
+        assert!(!repairs.is_empty(), "churn must trigger fixpoint repairs");
+        assert!(report.summary.repair_keys_moved > 0, "churn moves keys");
+        assert_eq!(report.summary.repairs, repairs.len());
+        for r in repairs {
+            assert!(r.stats.keys_moved <= r.stats.keys_examined);
+            assert!(
+                r.stats.keys_examined <= universe,
+                "repair examined {} keys of a {universe}-key universe",
+                r.stats.keys_examined
+            );
+        }
+        // Single-event repairs touch only the replication window around the
+        // changed peer, never every arc.
+        let max_arcs = repairs.iter().map(|r| r.stats.arcs_touched).max().unwrap();
+        assert!(
+            max_arcs < report.final_peers,
+            "incremental repair touched {max_arcs} arcs with {} peers",
+            report.final_peers
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn main() {
         traffic_end: 30_000,
         latency: LatencyModel::Exponential { mean: 12.0 },
         replication: 2,
+        service_time: 3, // finite per-peer capacity: the crowd queues
         ..Default::default()
     };
 
@@ -44,6 +45,17 @@ fn main() {
         "final population {} peers, {} protocol rounds co-simulated, {} acked keys lost",
         report.final_peers, report.rounds, report.lost_keys
     );
+    for r in report.sink.repairs() {
+        println!(
+            "incremental repair @t={}: {} arcs touched, {}/{} keys moved (+{} / -{} copies)",
+            r.at,
+            r.stats.arcs_touched,
+            r.stats.keys_moved,
+            r.stats.keys_examined,
+            r.stats.copies_added,
+            r.stats.copies_dropped
+        );
+    }
 
     let windows = report.sink.windows(2_000);
     let mut table = Table::new(&["window", "reqs", "availability", "p99"]);

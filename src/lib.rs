@@ -10,6 +10,9 @@
 //!   churn plans;
 //! * [`routing`] runs Chord applications (greedy lookups, a DHT) on the
 //!   stabilized overlay;
+//! * [`placement`] is the sharded key→replica placement engine both the DHT
+//!   and the workload simulator delegate to (incremental O(moved keys)
+//!   repair after churn);
 //! * [`workload`] drives discrete-event request traffic (latency, Zipf
 //!   popularity, SLO metrics) against the overlay *while it churns*;
 //! * [`chord`] is the classic-Chord baseline that the paper improves on;
@@ -43,6 +46,7 @@ pub use rechord_chord as chord;
 pub use rechord_core as core;
 pub use rechord_graph as graph;
 pub use rechord_id as id;
+pub use rechord_placement as placement;
 pub use rechord_routing as routing;
 pub use rechord_sim as sim;
 pub use rechord_topology as topology;
