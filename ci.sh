@@ -15,6 +15,10 @@ run() {
   "$@"
 }
 
+# 0. Formatting gate: rustfmt must be a no-op (style is pinned by
+#    rustfmt.toml; `cargo fmt` fixes violations).
+run cargo fmt --check
+
 # 1. Release build of every workspace member (libs, bins).
 run cargo build --release --offline
 
@@ -24,14 +28,19 @@ run cargo test -q --offline
 # 3. Bench and example targets must at least compile.
 run cargo check --workspace --all-targets --offline
 
-# 3b. The traffic subsystem smoke test: a tiny deterministic run of all four
-#     workload scenarios, with built-in SLO assertions (availability dips
-#     under churn and recovers to 100% after re-stabilization).
+# 3b. The traffic subsystem smoke test: a tiny deterministic run of all
+#     five workload scenarios (including the million-key paced-repair one),
+#     with built-in SLO assertions (availability dips under churn and
+#     recovers to 100% after re-stabilization; the million-key handoff
+#     drains through the bounded repair budget).
 run cargo run --release --offline --bin traffic -- --smoke
 
-# 3c. The statistical SLO sweep (seeds × churn intensities) on its smoke
-#     grid: every cell must re-stabilize and recover, and the grid JSON
-#     must be written.
+# 3c. The statistical SLO sweep (seeds × churn intensities × repair
+#     bandwidths) on its smoke grid: every cell must re-stabilize and
+#     recover, the repair timeline must be internally consistent
+#     (keys moved <= backlog at start), the availability floor must degrade
+#     monotonically as repair bandwidth shrinks, and the grid JSON with the
+#     repair-backlog fields must be written.
 run cargo run --release --offline --bin sweep -- --smoke
 
 # 3d. Placement-engine scale smoke in release mode: ≥100k keys / 256 peers,

@@ -86,7 +86,8 @@ impl AsciiChart {
                     continue;
                 }
                 let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
-                let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
+                let cy =
+                    ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - cy.min(self.height - 1);
                 let col = cx.min(self.width - 1);
                 grid[row][col] = s.glyph;
@@ -151,8 +152,7 @@ mod tests {
 
     #[test]
     fn degenerate_single_point() {
-        let chart =
-            AsciiChart::new("p", 20, 8).series(Series::new("one", 'o', &[5.0], &[7.0]));
+        let chart = AsciiChart::new("p", 20, 8).series(Series::new("one", 'o', &[5.0], &[7.0]));
         let s = chart.render();
         assert!(s.contains('o'));
     }

@@ -32,19 +32,9 @@ impl Stats {
         };
         let mut sorted: Vec<f64> = xs.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
-        let median = if n % 2 == 1 {
-            sorted[n / 2]
-        } else {
-            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
-        };
-        Stats {
-            n,
-            mean,
-            std_dev: var.sqrt(),
-            min: sorted[0],
-            max: sorted[n - 1],
-            median,
-        }
+        let median =
+            if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 };
+        Stats { n, mean, std_dev: var.sqrt(), min: sorted[0], max: sorted[n - 1], median }
     }
 
     /// Convenience: statistics of an iterator of counts.

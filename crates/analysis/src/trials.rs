@@ -42,9 +42,7 @@ where
     slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
-                .expect("slot lock poisoned")
-                .expect("every trial produced a result")
+            slot.into_inner().expect("slot lock poisoned").expect("every trial produced a result")
         })
         .collect()
 }

@@ -30,10 +30,7 @@ fn bench_round(c: &mut Criterion) {
                 let report = net.run_until_stable(200_000);
                 (net, report)
             };
-            b.iter_with_setup(
-                || net_clone(&net),
-                |mut net| net.round(),
-            )
+            b.iter_with_setup(|| net_clone(&net), |mut net| net.round())
         });
     }
     group.finish();

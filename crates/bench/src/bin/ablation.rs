@@ -24,7 +24,12 @@ fn main() {
     println!("Rule ablation at n={n} ({trials} trials, {budget}-round budget)\n");
 
     let mut table = Table::new(&[
-        "rules", "converged", "rounds_mean", "missing_desired", "overlay_conn", "ring_pair",
+        "rules",
+        "converged",
+        "rounds_mean",
+        "missing_desired",
+        "overlay_conn",
+        "ring_pair",
         "wrap_lookups",
     ]);
     let mut masks = vec![RuleMask::ALL];

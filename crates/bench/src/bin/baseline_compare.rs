@@ -33,8 +33,9 @@ fn main() {
             let mut chord = ChordNetwork::loopy_double_ring(&topo.ids, 1);
             chord.run_until_stable(MAX_ROUNDS);
             let rings = chord.ring_count();
-            let keys: Vec<Ident> =
-                (0..32u64).map(|k| Ident::from_raw(k.wrapping_mul(0x0809_7a5b_3c2d_1e0f))).collect();
+            let keys: Vec<Ident> = (0..32u64)
+                .map(|k| Ident::from_raw(k.wrapping_mul(0x0809_7a5b_3c2d_1e0f)))
+                .collect();
             let lookup_ok = chord.lookup_success_rate(&keys);
 
             // Re-Chord from the equivalent knowledge graph

@@ -11,9 +11,12 @@ fn main() {
     let trials = trials_per_size().min(15);
     let threads = harness_threads();
     let sizes = [8usize, 16, 32, 64];
-    println!("Theorem 1.1: convergence from adversarial weakly connected states ({trials} trials)\n");
+    println!(
+        "Theorem 1.1: convergence from adversarial weakly connected states ({trials} trials)\n"
+    );
 
-    let mut table = Table::new(&["topology", "n", "rounds_mean", "rounds_max", "per_nlogn", "clean"]);
+    let mut table =
+        Table::new(&["topology", "n", "rounds_mean", "rounds_max", "per_nlogn", "clean"]);
     for kind in TopologyKind::ALL {
         for &n in &sizes {
             let seeds = seed_range(0xc0 + n as u64 * 977, trials);
@@ -23,9 +26,12 @@ fn main() {
                 let report = net.run_until_stable(MAX_ROUNDS);
                 assert!(report.converged, "{} n={n} seed={seed}", kind.name());
                 let audit = net.audit();
-                (report.rounds_to_stable() as usize, audit.missing_unmarked.is_empty()
-                    && audit.chord.missing_linear.is_empty()
-                    && audit.weakly_connected)
+                (
+                    report.rounds_to_stable() as usize,
+                    audit.missing_unmarked.is_empty()
+                        && audit.chord.missing_linear.is_empty()
+                        && audit.weakly_connected,
+                )
             });
             let rounds = Stats::from_counts(results.iter().map(|r| r.0));
             let clean = results.iter().all(|r| r.1);

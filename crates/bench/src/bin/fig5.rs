@@ -15,7 +15,13 @@ fn main() {
     println!("Figure 5: stable-state edges and nodes ({trials} trials/size, {threads} threads)\n");
 
     let mut table = Table::new(&[
-        "n", "normal_edges", "conn_edges", "virtual_nodes", "normal_sd", "conn_sd", "virt_sd",
+        "n",
+        "normal_edges",
+        "conn_edges",
+        "virtual_nodes",
+        "normal_sd",
+        "conn_sd",
+        "virt_sd",
     ]);
     let mut ns = Vec::new();
     let (mut normal_means, mut conn_means, mut virt_means) = (Vec::new(), Vec::new(), Vec::new());

@@ -15,7 +15,9 @@ use rechord_topology::TopologyKind;
 fn main() {
     let trials = trials_per_size();
     let threads = harness_threads();
-    println!("Figure 6: rounds to stable / almost-stable ({trials} trials/size, {threads} threads)\n");
+    println!(
+        "Figure 6: rounds to stable / almost-stable ({trials} trials/size, {threads} threads)\n"
+    );
 
     let mut table = Table::new(&["n", "stable", "almost", "stable_sd", "almost_sd", "stable_max"]);
     let mut ns = Vec::new();
@@ -58,20 +60,14 @@ fn main() {
         );
     }
     // the theorem's bound, for contrast
-    let bound_ratio: Vec<f64> = ns
-        .iter()
-        .zip(&stable_means)
-        .map(|(n, s)| s / (n * n.log2()))
-        .collect();
+    let bound_ratio: Vec<f64> =
+        ns.iter().zip(&stable_means).map(|(n, s)| s / (n * n.log2())).collect();
     println!(
         "\nratio rounds/(n·log n): first {:.3} → last {:.3} (decreasing ⇒ comfortably below the Theorem 1.1 bound)",
         bound_ratio.first().unwrap(),
         bound_ratio.last().unwrap()
     );
-    let earlier = ns
-        .iter()
-        .zip(stable_means.iter().zip(&almost_means))
-        .all(|(_, (s, a))| a <= s);
+    let earlier = ns.iter().zip(stable_means.iter().zip(&almost_means)).all(|(_, (s, a))| a <= s);
     println!("almost-stable precedes stable in every size: {earlier}");
 
     println!(

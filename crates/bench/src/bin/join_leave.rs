@@ -17,11 +17,7 @@ use rechord_id::hash_address;
 
 /// Applies `event` to a fresh stable network and measures (integration
 /// rounds, fixpoint rounds).
-fn churn_cost(
-    n: usize,
-    seed: u64,
-    event: impl FnOnce(&mut ReChordNetwork),
-) -> (usize, usize) {
+fn churn_cost(n: usize, seed: u64, event: impl FnOnce(&mut ReChordNetwork)) -> (usize, usize) {
     let (mut net, _) = stabilized_random(n, seed);
     event(&mut net);
     let integ = net.run_until_almost_stable(MAX_ROUNDS).expect("must re-integrate") as usize;
@@ -36,8 +32,15 @@ fn main() {
     println!("Theorems 4.1/4.2: isolated join / leave / crash ({trials} trials/size)\n");
 
     let mut table = Table::new(&[
-        "n", "integ_join", "integ_leave", "integ_crash", "fix_join", "fix_leave", "fix_crash",
-        "log2n", "log2n^2",
+        "n",
+        "integ_join",
+        "integ_leave",
+        "integ_crash",
+        "fix_join",
+        "fix_leave",
+        "fix_crash",
+        "log2n",
+        "log2n^2",
     ]);
     let mut ns = Vec::new();
     let (mut join_integ, mut leave_integ, mut crash_integ) = (Vec::new(), Vec::new(), Vec::new());

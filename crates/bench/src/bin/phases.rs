@@ -16,7 +16,13 @@ fn main() {
     println!("Proof-phase timeline (first round each §3.1 phase predicate holds; {trials} trials/size)\n");
 
     let mut table = Table::new(&[
-        "n", "p1_connect", "p2_linearize", "p3_ring", "p4_real_nbrs", "p5_cleanup", "stable",
+        "n",
+        "p1_connect",
+        "p2_linearize",
+        "p3_ring",
+        "p4_real_nbrs",
+        "p5_cleanup",
+        "stable",
     ]);
     for &n in &sizes {
         let seeds = seed_range(0x9a5e + n as u64 * 71, trials);
@@ -32,9 +38,8 @@ fn main() {
                 .collect();
             (firsts, stable)
         });
-        let phase_mean = |k: usize| {
-            Stats::from_counts(results.iter().map(|(f, _)| f[k] as usize)).mean
-        };
+        let phase_mean =
+            |k: usize| Stats::from_counts(results.iter().map(|(f, _)| f[k] as usize)).mean;
         let stable = Stats::from_counts(results.iter().map(|(_, s)| *s as usize));
         table.row(&[
             n.to_string(),

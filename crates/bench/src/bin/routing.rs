@@ -13,10 +13,18 @@ fn main() {
     let threads = harness_threads();
     let sizes = [8usize, 16, 32, 64, 105];
     let lookups_per_net = 64usize;
-    println!("Routing on the stable overlay ({trials} trials/size, {lookups_per_net} lookups each)\n");
+    println!(
+        "Routing on the stable overlay ({trials} trials/size, {lookups_per_net} lookups each)\n"
+    );
 
     let mut table = Table::new(&[
-        "n", "hops_mean", "hops_max", "log2(n)", "success", "chord_cov", "wrap_missing",
+        "n",
+        "hops_mean",
+        "hops_max",
+        "log2(n)",
+        "success",
+        "chord_cov",
+        "wrap_missing",
     ]);
     let mut ns = Vec::new();
     let mut hop_means = Vec::new();
@@ -25,17 +33,15 @@ fn main() {
         let results = parallel_trials(&seeds, threads, |seed| {
             let (net, _) = stabilized_random(n, seed);
             let projection = Projection::from_overlay(&net.snapshot());
-            let coverage =
-                rechord_core::projection::chord_coverage(&projection, &net.real_ids());
+            let coverage = rechord_core::projection::chord_coverage(&projection, &net.real_ids());
             let t = RoutingTable::from_network(&net);
             let peers = t.peers().to_vec();
             let mut hops = Vec::new();
             let mut successes = 0usize;
             for k in 0..lookups_per_net as u64 {
                 let src = peers[(seed.wrapping_add(k) as usize) % peers.len()];
-                let key = Ident::from_raw(
-                    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(k << 32),
-                );
+                let key =
+                    Ident::from_raw(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(k << 32));
                 let r = route(&t, src, key);
                 if r.success {
                     successes += 1;

@@ -1,20 +1,27 @@
-//! Statistical SLO sweep: seeds × churn intensities, as a grid.
+//! Statistical SLO sweep: seeds × churn intensities × repair bandwidths,
+//! as a grid.
 //!
 //! `traffic --smoke` asserts SLO recovery for *pinned* seeds; this binary
 //! makes the claim statistical. It scans a grid of master seeds × churn
-//! intensities (crash-heavy storms of increasing size), runs the full
-//! co-simulated workload for every cell, and reports the **availability
-//! floor** (worst windowed availability over the run) and p99 latency per
-//! cell plus grid-level aggregates — along with the placement engine's
-//! incremental repair cost (keys moved, arcs touched) so the O(moved keys)
-//! claim is visible across the whole grid.
+//! intensities (join-heavy storms of increasing size) × anti-entropy
+//! repair bandwidths (keys moved per tick; 0 = infinite, the instantaneous
+//! pre-paced model), runs the full co-simulated workload for every cell,
+//! and reports the **availability floor** (worst windowed availability
+//! over the run) and p99 latency per cell plus grid-level aggregates —
+//! along with the placement engine's repair cost and timeline (keys moved,
+//! arcs touched, backlog peak, ticks, slowest time-to-full-replication) so
+//! both the O(moved keys) claim and the bandwidth/availability trade-off
+//! are visible across the whole grid.
 //!
 //! Output: a human table on stdout and machine-readable JSON under
 //! `results/sweep.json` (`--smoke` writes `results/sweep_smoke.json`).
 //!
 //! `--smoke` runs a tiny deterministic grid and *asserts* the headline
-//! behavior (every cell re-stabilizes and recovers at the tail); ci.sh runs
-//! it, so the statistical harness cannot silently rot.
+//! behavior: every cell re-stabilizes and recovers at the tail, the repair
+//! timeline is internally consistent (a pass never moves more keys than
+//! its starting backlog), and the availability floor degrades monotonically
+//! as the repair bandwidth shrinks. ci.sh runs it, so neither the
+//! statistical harness nor the paced-repair model can silently rot.
 
 use rechord_analysis::Table;
 use rechord_core::network::ReChordNetwork;
@@ -24,8 +31,9 @@ use std::fmt::Write as _;
 
 /// Shared between the runs and the JSON config block, so the record always
 /// matches the experiment.
-const REPLICATION: usize = 3;
+const REPLICATION: usize = 2;
 const SERVICE_TIME: u64 = 2;
+const KEY_UNIVERSE: u64 = 4_096;
 
 struct Knobs {
     n: usize,
@@ -34,11 +42,14 @@ struct Knobs {
     window: u64,
     seeds: Vec<u64>,
     intensities: Vec<usize>,
+    /// Keys repaired per tick; 0 = infinite (instantaneous fixpoint repair).
+    bandwidths: Vec<usize>,
 }
 
 struct Cell {
     seed: u64,
-    crashes: usize,
+    storm_events: usize,
+    repair_bandwidth: usize,
     requests: usize,
     availability: f64,
     /// Worst windowed availability over the run (the "floor").
@@ -51,23 +62,31 @@ struct Cell {
     repairs: usize,
     repair_keys_moved: usize,
     repair_arcs_touched: usize,
+    /// Largest repair backlog (keys in dirty arcs) the run ever saw.
+    repair_backlog_peak: usize,
+    /// Bounded repair ticks, totalled across passes.
+    repair_ticks: usize,
+    /// Longest time-to-full-replication over completed passes.
+    slowest_repair: u64,
+    /// Passes churn preempted mid-drain.
+    preempted_repairs: usize,
 }
 
-fn run_cell(seed: u64, crashes: usize, k: &Knobs) -> Cell {
+fn run_cell(seed: u64, storm_events: usize, bandwidth: usize, k: &Knobs) -> Cell {
     let (net, report) = ReChordNetwork::bootstrap_stable(k.n, seed, 1, 200_000);
     assert!(report.converged, "seed {seed}: bootstrap must stabilize");
     let cfg = WorkloadConfig {
         seed,
         traffic: TrafficConfig {
             mean_interarrival: k.interarrival,
-            key_universe: 256,
-            zipf_exponent: 0.9,
+            key_universe: KEY_UNIVERSE,
+            zipf_exponent: 0.0, // uniform reads: staleness anywhere is sampled
             put_fraction: 0.1,
             hot_key: None,
         },
         traffic_start: 0,
         traffic_end: k.horizon,
-        round_every: 150, // ops tempo: stabilization takes real time
+        round_every: 10, // fast rounds: fixpoints land between churn strikes
         latency: LatencyModel::Uniform { lo: 5, hi: 15 },
         replication: REPLICATION,
         max_retries: 2,
@@ -76,19 +95,36 @@ fn run_cell(seed: u64, crashes: usize, k: &Knobs) -> Cell {
         max_rounds: 200_000,
         detection_lag: 250,
         service_time: SERVICE_TIME,
+        repair_bandwidth: bandwidth,
+        max_keys_per_peer: 0,
     };
-    // A crash-heavy storm in the middle third of the run; intensity = how
-    // many churn events strike.
-    let storm = TimedChurnPlan::storm(crashes, 0.35, k.horizon / 4, 150, seed ^ 0x5eed);
+    // A join-heavy storm in the middle of the run; intensity = how many
+    // churn events strike. Joins are what make repair bandwidth *visible*:
+    // every split arc is unreadable at its new primary until the paced
+    // drain copies it over, so a starved budget stretches the stale window
+    // (crashes, by contrast, leave in-window survivors that keep serving).
+    let storm = TimedChurnPlan::storm(storm_events, 0.7, k.horizon / 4, 300, seed ^ 0x5eed);
     let mut sim = TrafficSim::new(cfg, net, &storm);
     sim.preload();
     let r = sim.run();
     let windows = r.sink.windows(k.window);
     let floor = windows.iter().map(|w| w.availability()).fold(1.0f64, f64::min);
     let tail = windows.last().map_or(1.0, |w| w.availability());
+    // Timeline consistency, checked on every cell: a pass can never move
+    // more keys than its starting backlog held, nor end before it started.
+    for pass in r.sink.repairs() {
+        assert!(
+            pass.stats.keys_moved <= pass.backlog_at_start,
+            "seed {seed}: pass moved {} of a {}-key backlog",
+            pass.stats.keys_moved,
+            pass.backlog_at_start
+        );
+        assert!(pass.at >= pass.started_at, "seed {seed}: pass ended before it began");
+    }
     Cell {
         seed,
-        crashes,
+        storm_events,
+        repair_bandwidth: bandwidth,
         requests: r.summary.total,
         availability: r.summary.availability,
         floor,
@@ -99,6 +135,10 @@ fn run_cell(seed: u64, crashes: usize, k: &Knobs) -> Cell {
         repairs: r.summary.repairs,
         repair_keys_moved: r.summary.repair_keys_moved,
         repair_arcs_touched: r.summary.repair_arcs_touched,
+        repair_backlog_peak: r.summary.repair_backlog_peak,
+        repair_ticks: r.summary.repair_ticks,
+        slowest_repair: r.summary.slowest_repair,
+        preempted_repairs: r.sink.repairs().iter().filter(|p| p.preempted).count(),
     }
 }
 
@@ -130,9 +170,10 @@ fn write_json(path: &std::path::Path, k: &Knobs, cells: &[Cell]) -> std::io::Res
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"seed\": {}, \"crashes\": {}, \"requests\": {}, \"availability\": {}, \"floor\": {}, \"tail\": {}, \"p99\": {}, \"lost_keys\": {}, \"stable\": {}, \"repairs\": {}, \"repair_keys_moved\": {}, \"repair_arcs_touched\": {}}}",
+            "    {{\"seed\": {}, \"storm_events\": {}, \"repair_bandwidth\": {}, \"requests\": {}, \"availability\": {}, \"floor\": {}, \"tail\": {}, \"p99\": {}, \"lost_keys\": {}, \"stable\": {}, \"repairs\": {}, \"repair_keys_moved\": {}, \"repair_arcs_touched\": {}, \"repair_backlog_peak\": {}, \"repair_ticks\": {}, \"slowest_repair\": {}, \"preempted_repairs\": {}}}",
             c.seed,
-            c.crashes,
+            c.storm_events,
+            c.repair_bandwidth,
             c.requests,
             json_escape_free_number(c.availability),
             json_escape_free_number(c.floor),
@@ -142,7 +183,11 @@ fn write_json(path: &std::path::Path, k: &Knobs, cells: &[Cell]) -> std::io::Res
             c.stable,
             c.repairs,
             c.repair_keys_moved,
-            c.repair_arcs_touched
+            c.repair_arcs_touched,
+            c.repair_backlog_peak,
+            c.repair_ticks,
+            c.slowest_repair,
+            c.preempted_repairs
         );
         out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
@@ -151,51 +196,65 @@ fn write_json(path: &std::path::Path, k: &Knobs, cells: &[Cell]) -> std::io::Res
     std::fs::write(path, out)
 }
 
+fn bw_label(bw: usize) -> String {
+    if bw == 0 {
+        "inf".to_string()
+    } else {
+        bw.to_string()
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let k = if smoke {
         Knobs {
             n: 20,
-            horizon: 10_000,
-            interarrival: 10.0,
-            window: 2_000,
-            seeds: vec![0xa1, 0xb2],
-            intensities: vec![3, 6],
+            horizon: 12_000,
+            interarrival: 5.0,
+            window: 1_000,
+            seeds: vec![0xa1, 0xb2, 0xc3, 0x11],
+            intensities: vec![8, 12],
+            bandwidths: vec![0, 3, 1],
         }
     } else {
         Knobs {
             n: 48,
             horizon: 40_000,
-            interarrival: 6.0,
-            window: 4_000,
+            interarrival: 5.0,
+            window: 2_000,
             seeds: vec![1, 2, 3, 5, 8, 13],
-            intensities: vec![4, 8, 12],
+            intensities: vec![8, 12, 16],
+            bandwidths: vec![0, 8, 3, 1],
         }
     };
     println!(
-        "SLO sweep: {} seeds × {} intensities, {} peers, horizon {}{}\n",
+        "SLO sweep: {} seeds × {} intensities × {} repair bandwidths, {} peers, horizon {}{}\n",
         k.seeds.len(),
         k.intensities.len(),
+        k.bandwidths.len(),
         k.n,
         k.horizon,
         if smoke { " [smoke]" } else { "" }
     );
 
     let mut cells = Vec::new();
-    for &crashes in &k.intensities {
-        for &seed in &k.seeds {
-            cells.push(run_cell(seed, crashes, &k));
+    for &bw in &k.bandwidths {
+        for &storm_events in &k.intensities {
+            for &seed in &k.seeds {
+                cells.push(run_cell(seed, storm_events, bw, &k));
+            }
         }
     }
 
     let mut table = Table::new(&[
-        "seed", "storm", "reqs", "avail", "floor", "tail", "p99", "lost", "stable", "repairs",
-        "moved",
+        "seed", "storm", "bw", "reqs", "avail", "floor", "tail", "p99", "lost", "stable",
+        "repairs", "moved", "backlog", "slowest",
     ]);
     for c in &cells {
         table.row(&[
             format!("{:#x}", c.seed),
-            c.crashes.to_string(),
+            c.storm_events.to_string(),
+            bw_label(c.repair_bandwidth),
             c.requests.to_string(),
             format!("{:.4}", c.availability),
             format!("{:.4}", c.floor),
@@ -205,6 +264,8 @@ fn main() {
             c.stable.to_string(),
             c.repairs.to_string(),
             c.repair_keys_moved.to_string(),
+            c.repair_backlog_peak.to_string(),
+            c.slowest_repair.to_string(),
         ]);
     }
     table.print();
@@ -216,6 +277,16 @@ fn main() {
         floor,
         cells.len()
     );
+    // The headline trade-off: mean availability floor per repair bandwidth.
+    println!("\navailability floor by repair bandwidth (keys/tick):");
+    let mut floors_by_bw: Vec<(usize, f64)> = Vec::new();
+    for &bw in &k.bandwidths {
+        let group: Vec<f64> =
+            cells.iter().filter(|c| c.repair_bandwidth == bw).map(|c| c.floor).collect();
+        let mean = group.iter().sum::<f64>() / group.len() as f64;
+        println!("  bw {:>4}: mean floor {:.4}", bw_label(bw), mean);
+        floors_by_bw.push((bw, mean));
+    }
 
     let name = if smoke { "sweep_smoke.json" } else { "sweep.json" };
     let path = rechord_bench::results_dir().join(name);
@@ -226,21 +297,92 @@ fn main() {
     // the overlay must re-stabilize and serve again. These hold
     // deterministically for the grid above, so ci.sh catches regressions.
     for c in &cells {
-        assert!(c.stable, "seed {:#x} × {} crashes did not re-stabilize", c.seed, c.crashes);
-        assert!(c.requests > 300, "seed {:#x}: too few requests to judge", c.seed);
         assert!(
-            c.tail >= 0.99,
-            "seed {:#x} × {} crashes: tail availability {:.4} never recovered",
+            c.stable,
+            "seed {:#x} × {} events × bw {}: did not re-stabilize",
             c.seed,
-            c.crashes,
-            c.tail
+            c.storm_events,
+            bw_label(c.repair_bandwidth)
+        );
+        assert!(c.requests > 300, "seed {:#x}: too few requests to judge", c.seed);
+        // Starved repair bandwidth legitimately loses keys (a second crash
+        // lands before the first one's re-replication reaches them); those
+        // keys read stale forever, so the tail gate discounts them — but
+        // surviving keys must be served again, and the damage stays small.
+        let dead = c.lost_keys as f64 / KEY_UNIVERSE as f64;
+        assert!(
+            c.lost_keys as u64 <= KEY_UNIVERSE / 40,
+            "seed {:#x} × {} events × bw {}: {} lost keys is out of bounds",
+            c.seed,
+            c.storm_events,
+            bw_label(c.repair_bandwidth),
+            c.lost_keys
+        );
+        assert!(
+            c.tail >= 0.99 - 2.0 * dead,
+            "seed {:#x} × {} events × bw {}: tail availability {:.4} never recovered ({} dead keys)",
+            c.seed,
+            c.storm_events,
+            bw_label(c.repair_bandwidth),
+            c.tail,
+            c.lost_keys
         );
         assert!(c.repairs > 0, "churned cells must run fixpoint repairs");
+        if c.repair_bandwidth > 0 {
+            assert!(c.repair_backlog_peak > 0, "paced cells must gauge their backlog");
+        }
     }
     assert!(
         cells.iter().any(|c| c.floor < 1.0),
         "storms this size must dent availability somewhere in the grid"
     );
+
+    // The bandwidth/availability trade-off, asserted: shrinking the repair
+    // bandwidth can only degrade the mean availability floor (the grid is
+    // configured with bandwidths in decreasing order, 0 = infinite first).
+    for pair in floors_by_bw.windows(2) {
+        let ((wide, wide_floor), (narrow, narrow_floor)) = (pair[0], pair[1]);
+        assert!(
+            narrow_floor <= wide_floor + 1e-9,
+            "shrinking repair bandwidth {} -> {} must not raise the mean floor ({:.4} -> {:.4})",
+            bw_label(wide),
+            bw_label(narrow),
+            wide_floor,
+            narrow_floor
+        );
+    }
+    let widest = floors_by_bw.first().expect("grid has bandwidths").1;
+    let narrowest = floors_by_bw.last().expect("grid has bandwidths").1;
+    assert!(
+        narrowest < widest,
+        "the starved bandwidth must visibly dent the floor ({widest:.4} -> {narrowest:.4})"
+    );
+    // Data durability degrades the same way: a starved budget leaves keys
+    // under-replicated longer, so a follow-up crash can destroy them.
+    let lost_at = |bw: usize| -> usize {
+        cells.iter().filter(|c| c.repair_bandwidth == bw).map(|c| c.lost_keys).sum()
+    };
+    let (wide_bw, narrow_bw) =
+        (*k.bandwidths.first().expect("bandwidths"), *k.bandwidths.last().expect("bandwidths"));
+    assert!(
+        lost_at(narrow_bw) >= lost_at(wide_bw),
+        "starving repair bandwidth cannot *save* data ({} -> {} lost keys)",
+        lost_at(wide_bw),
+        lost_at(narrow_bw)
+    );
+
+    // The JSON record carries the repair timeline: spot-check the fields
+    // made it to disk (ci greps nothing — this is the machine check).
+    let written = std::fs::read_to_string(&path).expect("re-read sweep json");
+    for field in [
+        "repair_bandwidth",
+        "repair_backlog_peak",
+        "repair_ticks",
+        "slowest_repair",
+        "preempted_repairs",
+    ] {
+        assert!(written.contains(field), "sweep JSON must carry {field}");
+    }
 
     println!("\nsweep: all grid assertions hold");
 }

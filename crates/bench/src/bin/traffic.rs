@@ -68,7 +68,9 @@ fn base_config(seed: u64, k: &Knobs) -> WorkloadConfig {
         hop_budget: 128,
         max_rounds: 100_000,
         detection_lag: 250,
-        service_time: 2, // finite per-peer capacity: loaded peers queue
+        service_time: 2,     // finite per-peer capacity: loaded peers queue
+        repair_bandwidth: 0, // legacy scenarios: instantaneous fixpoint repair
+        max_keys_per_peer: 0,
     }
 }
 
@@ -80,7 +82,8 @@ fn stable_net(n: usize, seed: u64) -> ReChordNetwork {
 
 /// Sustained load on a stable overlay that nobody touches.
 fn steady_state(k: &Knobs) -> ScenarioOut {
-    let mut sim = TrafficSim::new(base_config(0xa1, k), stable_net(k.n, 0xa1), &TimedChurnPlan::default());
+    let mut sim =
+        TrafficSim::new(base_config(0xa1, k), stable_net(k.n, 0xa1), &TimedChurnPlan::default());
     sim.preload();
     ScenarioOut { name: "steady-state", report: sim.run(), window: k.window }
 }
@@ -108,10 +111,10 @@ fn churn_storm(k: &Knobs) -> ScenarioOut {
     let mut cfg = base_config(0xc3, k);
     cfg.replication = 3;
     cfg.round_every = 200; // ops tempo: stabilization takes real time
-    // Two crash bursts with a breather between (long enough to re-stabilize
-    // and re-replicate), then a join wave. A burst is faster than repair, so
-    // data survives a burst iff no 3 cyclically-consecutive peers crash in
-    // it — guaranteed nowhere, true at the smoke scale's pinned seed.
+                           // Two crash bursts with a breather between (long enough to re-stabilize
+                           // and re-replicate), then a join wave. A burst is faster than repair, so
+                           // data survives a burst iff no 3 cyclically-consecutive peers crash in
+                           // it — guaranteed nowhere, true at the smoke scale's pinned seed.
     let start = k.horizon / 4;
     let storm = TimedChurnPlan::crash_wave(k.n / 8, start, 40)
         .merged(TimedChurnPlan::crash_wave(k.n / 8, start + 7 * k.horizon / 24, 40))
@@ -119,6 +122,25 @@ fn churn_storm(k: &Knobs) -> ScenarioOut {
     let mut sim = TrafficSim::new(cfg, stable_net(k.n, 0xc3), &storm);
     sim.preload();
     ScenarioOut { name: "churn-storm", report: sim.run(), window: k.window }
+}
+
+/// A **million keys** under paced repair: the placement engine's O(moved
+/// keys) incremental pass (PR 4) makes the map affordable, and the repair
+/// bandwidth budget makes the handoff *visible* — each churn event dirties
+/// tens of thousands of keys that drain at a bounded keys-per-tick rate,
+/// their copy transfers competing with foreground gets through the same
+/// per-peer service queues.
+fn million_keys(k: &Knobs) -> ScenarioOut {
+    let mut cfg = base_config(0xe5, k);
+    cfg.traffic.key_universe = 1_000_000;
+    cfg.traffic.zipf_exponent = 0.0; // uniform reads sample staleness anywhere
+    cfg.replication = 2;
+    cfg.round_every = 10; // fixpoints land between events: repair starts promptly
+    cfg.repair_bandwidth = 400; // a ~80k-key handoff drains over ~200 ticks
+    let storm = TimedChurnPlan::storm(4, 0.5, k.horizon / 4, k.horizon / 8, 0xe5);
+    let mut sim = TrafficSim::new(cfg, stable_net(k.n, 0xe5), &storm);
+    sim.preload();
+    ScenarioOut { name: "million-keys", report: sim.run(), window: k.window }
 }
 
 /// Traffic begins while the overlay is still the adversarial two-rings-and-
@@ -150,11 +172,27 @@ fn main() {
         if smoke { " [smoke]" } else { "" }
     );
 
-    let scenarios = vec![steady_state(&k), flash_crowd(&k), churn_storm(&k), partition_heal(&k)];
+    let scenarios = vec![
+        steady_state(&k),
+        flash_crowd(&k),
+        churn_storm(&k),
+        partition_heal(&k),
+        million_keys(&k),
+    ];
 
     let mut table = Table::new(&[
-        "scenario", "reqs", "avail", "p50", "p90", "p99", "hops", "req/ktick", "rounds",
-        "lost_keys", "repairs", "keys_moved",
+        "scenario",
+        "reqs",
+        "avail",
+        "p50",
+        "p90",
+        "p99",
+        "hops",
+        "req/ktick",
+        "rounds",
+        "lost_keys",
+        "repairs",
+        "keys_moved",
     ]);
     for s in &scenarios {
         let sum = &s.report.summary;
@@ -185,9 +223,13 @@ fn main() {
         let xs: Vec<f64> = windows.iter().map(|w| w.start as f64).collect();
         let avail: Vec<f64> = windows.iter().map(|w| w.availability() * 100.0).collect();
         let p99: Vec<f64> = windows.iter().map(|w| w.p99 as f64).collect();
-        let chart = AsciiChart::new(format!("{}: availability % (a) / p99 ticks (9) per window", s.name), 72, 12)
-            .series(Series::new("availability %", 'a', &xs, &avail))
-            .series(Series::new("p99 latency", '9', &xs, &p99));
+        let chart = AsciiChart::new(
+            format!("{}: availability % (a) / p99 ticks (9) per window", s.name),
+            72,
+            12,
+        )
+        .series(Series::new("availability %", 'a', &xs, &avail))
+        .series(Series::new("p99 latency", '9', &xs, &p99));
         print!("{}", chart.render());
         for w in &windows {
             csv.row(&[
@@ -262,6 +304,43 @@ fn main() {
         flash.availability_between(tail_from, k.horizon + 1),
         1.0,
         "flash crowd must end fully available"
+    );
+
+    let million = &scenarios[4];
+    let msum = &million.report.summary;
+    println!("\nmillion-keys repair-backlog peaks per {}-tick window:", million.window);
+    for (start, peak) in million.report.sink.backlog_windows(million.window) {
+        println!("  t={start:>6}  backlog {peak}");
+    }
+    assert!(msum.total > 500, "the million-key run still serves traffic");
+    assert!(msum.repairs > 0, "churn over a million keys must trigger repairs");
+    assert!(
+        msum.repair_keys_moved > 10_000,
+        "a million-key handoff moves serious data (moved {})",
+        msum.repair_keys_moved
+    );
+    assert!(
+        msum.repair_backlog_peak > 10_000,
+        "the backlog gauge must see the handoff (peak {})",
+        msum.repair_backlog_peak
+    );
+    assert!(msum.slowest_repair > 0, "a 400-keys/tick budget takes visible virtual time");
+    for pass in million.report.sink.repairs() {
+        assert!(
+            pass.stats.keys_moved <= pass.backlog_at_start,
+            "a pass cannot move more keys than its backlog held: {pass:?}"
+        );
+    }
+    assert!(million.report.stable_at_end, "the overlay re-stabilizes under a million keys");
+    assert!(
+        million.report.lost_keys < 10_000,
+        "repair outruns the storm for almost every key ({} lost)",
+        million.report.lost_keys
+    );
+    let million_tail = million.availability_between(tail_from, k.horizon + 1);
+    assert!(
+        million_tail > 0.99,
+        "the million-key tail must serve surviving keys (got {million_tail:.4})"
     );
 
     println!("\ntraffic: all scenario assertions hold");

@@ -164,7 +164,8 @@ mod tests {
         let report = net.run_until_stable(2_000);
         assert!(report.converged);
         assert_eq!(net.ring_count(), 1, "sorted-line bootstrap must form one ring");
-        let keys: Vec<Ident> = (0..16).map(|k| Ident::from_raw(k * 0x1111_1111_1111_1111)).collect();
+        let keys: Vec<Ident> =
+            (0..16).map(|k| Ident::from_raw(k * 0x1111_1111_1111_1111)).collect();
         assert!(net.lookup_success_rate(&keys) > 0.99);
     }
 

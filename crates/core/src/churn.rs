@@ -25,8 +25,7 @@ impl ReChordNetwork {
         if !self.engine().contains(contact) || self.engine().contains(joiner) {
             return false;
         }
-        self.engine_mut()
-            .insert_node(joiner, PeerState::with_contacts([NodeRef::real(contact)]))
+        self.engine_mut().insert_node(joiner, PeerState::with_contacts([NodeRef::real(contact)]))
     }
 
     /// A peer leaves gracefully (§4.2): before disappearing it introduces
@@ -53,11 +52,8 @@ impl ReChordNetwork {
                 continue;
             }
             if let Some(st) = self.engine_mut().state_mut(at.owner) {
-                let lvl = if st.levels.contains_key(&at.level) {
-                    at.level
-                } else {
-                    st.deepest_level()
-                };
+                let lvl =
+                    if st.levels.contains_key(&at.level) { at.level } else { st.deepest_level() };
                 if let Some(vs) = st.level_mut(lvl) {
                     vs.nu.insert(edge);
                 }

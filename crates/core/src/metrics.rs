@@ -105,13 +105,8 @@ mod tests {
     fn edge_series_split_matches_figure5() {
         let a = NodeRef::real(id(0.1));
         let b = NodeRef::real(id(0.5));
-        let g: OverlayGraph = [
-            Edge::unmarked(a, b),
-            Edge::ring(b, a),
-            Edge::connection(a, b),
-        ]
-        .into_iter()
-        .collect();
+        let g: OverlayGraph =
+            [Edge::unmarked(a, b), Edge::ring(b, a), Edge::connection(a, b)].into_iter().collect();
         let m = measure(&g, &[id(0.1), id(0.5)], &[]);
         assert_eq!(m.normal_edges(), 2, "unmarked + ring");
         assert_eq!(m.connection_edges(), 1);

@@ -228,12 +228,26 @@ mod tests {
         assert!(has(a, b) && has(b, c) && has(c, a));
         assert!(has(b, a) && has(c, b) && has(a, c));
         // finger of 0.0 at level 1: first real >= 0.5 → 0.6
-        assert!(e.iter().any(|ce| ce.from == a && ce.to == c && ce.kind == ChordEdgeKind::Finger(1)));
+        assert!(e
+            .iter()
+            .any(|ce| ce.from == a && ce.to == c && ce.kind == ChordEdgeKind::Finger(1)));
         // wrap classification: succ edge of the max (c → a) crosses; the
         // pred edge of the min (a → c) crosses counter-clockwise.
-        assert!(e.iter().find(|ce| ce.from == c && ce.to == a && ce.kind == ChordEdgeKind::Successor).unwrap().crosses_wrap());
-        assert!(e.iter().find(|ce| ce.from == a && ce.to == c && ce.kind == ChordEdgeKind::Predecessor).unwrap().crosses_wrap());
-        assert!(!e.iter().find(|ce| ce.from == a && ce.to == b && ce.kind == ChordEdgeKind::Successor).unwrap().crosses_wrap());
+        assert!(e
+            .iter()
+            .find(|ce| ce.from == c && ce.to == a && ce.kind == ChordEdgeKind::Successor)
+            .unwrap()
+            .crosses_wrap());
+        assert!(e
+            .iter()
+            .find(|ce| ce.from == a && ce.to == c && ce.kind == ChordEdgeKind::Predecessor)
+            .unwrap()
+            .crosses_wrap());
+        assert!(!e
+            .iter()
+            .find(|ce| ce.from == a && ce.to == b && ce.kind == ChordEdgeKind::Successor)
+            .unwrap()
+            .crosses_wrap());
     }
 
     #[test]

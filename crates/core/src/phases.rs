@@ -88,16 +88,11 @@ pub fn observe(snapshot: &OverlayGraph, real_ids: &[Ident]) -> PhaseStatus {
     // exactly the desired edges whose target is real and which are not the
     // pred/succ edge; checking the full desired set's real-target edges is
     // equivalent and avoids reaching into peer state.
-    let real_neighbors = desired
-        .edges()
-        .filter(|e| e.to.is_real())
-        .all(|e| snapshot.has_edge(&e));
+    let real_neighbors = desired.edges().filter(|e| e.to.is_real()).all(|e| snapshot.has_edge(&e));
 
     // Phase 5: no unnecessary unmarked edges.
-    let cleanup_done = snapshot
-        .edges()
-        .filter(|e| e.kind == EdgeKind::Unmarked)
-        .all(|e| desired.has_edge(&e));
+    let cleanup_done =
+        snapshot.edges().filter(|e| e.kind == EdgeKind::Unmarked).all(|e| desired.has_edge(&e));
 
     PhaseStatus { connected_unmarked, linearized, ring_closed, real_neighbors, cleanup_done }
 }
@@ -192,7 +187,9 @@ mod tests {
             assert!(r <= stable, "phase {} after stabilization", k + 1);
         }
         // prefix ordering: each phase's first-true is not before phase 1's
-        assert!(tl.first_true[0].unwrap() <= tl.first_true[1].unwrap().max(tl.first_true[0].unwrap()));
+        assert!(
+            tl.first_true[0].unwrap() <= tl.first_true[1].unwrap().max(tl.first_true[0].unwrap())
+        );
     }
 
     #[test]

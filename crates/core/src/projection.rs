@@ -190,12 +190,9 @@ mod tests {
 
     #[test]
     fn virtual_targets_and_connection_edges_excluded() {
-        let g: OverlayGraph = [
-            Edge::unmarked(r(0.1), v(0.7, 1)),
-            Edge::connection(r(0.1), r(0.7)),
-        ]
-        .into_iter()
-        .collect();
+        let g: OverlayGraph = [Edge::unmarked(r(0.1), v(0.7, 1)), Edge::connection(r(0.1), r(0.7))]
+            .into_iter()
+            .collect();
         let p = Projection::from_overlay(&g);
         assert_eq!(p.edge_count(), 0, "neither edge projects");
     }

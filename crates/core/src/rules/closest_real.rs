@@ -84,13 +84,11 @@ fn neighbors_to_inform(
         .filter(|&y| match side {
             // y > u_i ∨ v < y < u_i, and v improves on y's register
             Side::Left => {
-                (y > ui || (v < y && y < ui))
-                    && ctx.observed_rl(y).is_none_or(|rly| v > rly)
+                (y > ui || (v < y && y < ui)) && ctx.observed_rl(y).is_none_or(|rly| v > rly)
             }
             // y < u_i ∨ v > y > u_i
             Side::Right => {
-                (y < ui || (v > y && y > ui))
-                    && ctx.observed_rr(y).is_none_or(|rry| v < rry)
+                (y < ui || (v > y && y > ui)) && ctx.observed_rr(y).is_none_or(|rry| v < rry)
             }
         })
         .collect()
@@ -150,10 +148,8 @@ mod tests {
             st.level_mut(0).unwrap().nu.insert(n);
         }
         let msgs = run_rule(me, &mut st, &[], super::apply);
-        let left_informs: Vec<&Msg> = msgs
-            .iter()
-            .filter(|m| m.kind == EdgeKind::Unmarked && m.edge == v)
-            .collect();
+        let left_informs: Vec<&Msg> =
+            msgs.iter().filter(|m| m.kind == EdgeKind::Unmarked && m.edge == v).collect();
         let targets: Vec<NodeRef> = left_informs.iter().map(|m| m.at).collect();
         assert!(targets.contains(&between));
         assert!(targets.contains(&above));

@@ -111,11 +111,8 @@ mod tests {
         st2.levels.entry(1).or_default();
         st2.levels.entry(2).or_default();
         let msgs = run_rule(me, &mut st2, &[], super::apply);
-        let backward: Vec<(NodeRef, NodeRef)> = msgs
-            .iter()
-            .filter(|m| m.kind == EdgeKind::Unmarked)
-            .map(|m| (m.at, m.edge))
-            .collect();
+        let backward: Vec<(NodeRef, NodeRef)> =
+            msgs.iter().filter(|m| m.kind == EdgeKind::Unmarked).map(|m| (m.at, m.edge)).collect();
         let u0 = PeerState::node_ref(me, 0);
         let u1 = PeerState::node_ref(me, 1);
         let u2 = PeerState::node_ref(me, 2);

@@ -56,11 +56,8 @@ pub fn apply(ctx: &mut RuleCtx<'_, '_>) {
         }
 
         // mirroring: the remaining closest neighbors learn about u_i...
-        let mirror_targets: Vec<NodeRef> = ctx
-            .state
-            .level(lvl)
-            .map(|vs| vs.nu.iter().copied().collect())
-            .unwrap_or_default();
+        let mirror_targets: Vec<NodeRef> =
+            ctx.state.level(lvl).map(|vs| vs.nu.iter().copied().collect()).unwrap_or_default();
         for v in mirror_targets {
             ctx.send_insert(v, EdgeKind::Unmarked, ui);
         }
@@ -94,10 +91,7 @@ mod tests {
     }
 
     fn unmarked_msgs(msgs: &[Msg]) -> Vec<(NodeRef, NodeRef)> {
-        msgs.iter()
-            .filter(|m| m.kind == EdgeKind::Unmarked)
-            .map(|m| (m.at, m.edge))
-            .collect()
+        msgs.iter().filter(|m| m.kind == EdgeKind::Unmarked).map(|m| (m.at, m.edge)).collect()
     }
 
     #[test]
@@ -142,8 +136,7 @@ mod tests {
         }
         let msgs = run_rule(me, &mut st, &[], super::apply);
         let ui = NodeRef::real(me);
-        let mirrors: Vec<NodeRef> =
-            msgs.iter().filter(|m| m.edge == ui).map(|m| m.at).collect();
+        let mirrors: Vec<NodeRef> = msgs.iter().filter(|m| m.edge == ui).map(|m| m.at).collect();
         assert!(mirrors.contains(&real(0.4)), "closest left is mirrored");
         assert!(mirrors.contains(&real(0.7)), "closest right is mirrored");
         assert!(!mirrors.contains(&real(0.2)) && !mirrors.contains(&real(0.9)));

@@ -117,7 +117,7 @@ mod tests {
     fn no_move_when_no_sibling_between() {
         let me = Ident::from_f64(0.6);
         let mut st = peer_with_levels(me, &[1]); // u_1 = 0.1
-        // w = 0.3: sibling set between 0.3 and 0.6 is empty (u_1=0.1 < w).
+                                                 // w = 0.3: sibling set between 0.3 and 0.6 is empty (u_1=0.1 < w).
         let w = NodeRef::real(Ident::from_f64(0.3));
         st.level_mut(0).unwrap().nu.insert(w);
         let before = st.clone();

@@ -55,9 +55,9 @@ pub fn apply(ctx: &mut RuleCtx<'_, '_>) {
         // create-ring-edge-right: no unmarked right neighbor.
         let has_right = {
             use std::ops::Bound;
-            ctx.state
-                .level(lvl)
-                .is_some_and(|vs| vs.nu.range((Bound::Excluded(ui), Bound::Unbounded)).next().is_some())
+            ctx.state.level(lvl).is_some_and(|vs| {
+                vs.nu.range((Bound::Excluded(ui), Bound::Unbounded)).next().is_some()
+            })
         };
         if !has_right {
             if let Some(v) = global_min {
@@ -78,11 +78,8 @@ pub fn apply(ctx: &mut RuleCtx<'_, '_>) {
                 }
                 continue;
             }
-            let nr_now: BTreeSet<NodeRef> = ctx
-                .state
-                .level(lvl)
-                .map(|vs| vs.nr.clone())
-                .unwrap_or_default();
+            let nr_now: BTreeSet<NodeRef> =
+                ctx.state.level(lvl).map(|vs| vs.nr.clone()).unwrap_or_default();
             let mut pool: BTreeSet<NodeRef> = known.clone();
             pool.extend(nr_now.iter().copied());
 
@@ -184,11 +181,8 @@ mod tests {
         st.level_mut(0).unwrap().nu.insert(real(0.9));
         st.level_mut(0).unwrap().nu.insert(real(0.4)); // keep left side closed
         let msgs = run_rule(me, &mut st, &[], super::apply);
-        let unmarked: Vec<(NodeRef, NodeRef)> = msgs
-            .iter()
-            .filter(|m| m.kind == EdgeKind::Unmarked)
-            .map(|m| (m.at, m.edge))
-            .collect();
+        let unmarked: Vec<(NodeRef, NodeRef)> =
+            msgs.iter().filter(|m| m.kind == EdgeKind::Unmarked).map(|m| (m.at, m.edge)).collect();
         assert!(unmarked.contains(&(real(0.9), real(0.7))));
         assert!(st.level(0).unwrap().nr.is_empty(), "ring edge removed");
     }
@@ -246,13 +240,13 @@ mod tests {
         min_st.level_mut(0).unwrap().nu.insert(real(0.9)); // right neighbor
         min_st.level_mut(0).unwrap().nr.insert(real(0.9)); // ring edge to max
         let before = min_st.clone();
-        let msgs = run_rule(min_id, &mut min_st, &[(max_id, PeerState::new())], |ctx| {
-            super::apply(ctx)
-        });
+        let msgs = run_rule(min_id, &mut min_st, &[(max_id, PeerState::new())], super::apply);
         // the held ring edge must survive; the (re)creation toward the max
         // known node is idempotent with the existing state
         assert_eq!(min_st.level(0).unwrap().nr, before.level(0).unwrap().nr);
-        assert!(ring_msgs(&msgs).contains(&(real(0.9), NodeRef::real(min_id))),
-            "min still misses a left neighbor and re-requests from max");
+        assert!(
+            ring_msgs(&msgs).contains(&(real(0.9), NodeRef::real(min_id))),
+            "min still misses a left neighbor and re-requests from max"
+        );
     }
 }

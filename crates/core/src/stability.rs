@@ -58,14 +58,9 @@ impl StableStateAudit {
 /// topology for `real_ids`.
 pub fn audit(snapshot: &OverlayGraph, real_ids: &[Ident]) -> StableStateAudit {
     let desired = oracle::desired_unmarked(real_ids);
-    let missing_unmarked: Vec<Edge> = desired
-        .edges()
-        .filter(|e| !snapshot.has_edge(e))
-        .collect();
-    let extra_unmarked: Vec<Edge> = snapshot
-        .edges()
-        .filter(|e| e.kind == EdgeKind::Unmarked && !desired.has_edge(e))
-        .collect();
+    let missing_unmarked: Vec<Edge> = desired.edges().filter(|e| !snapshot.has_edge(e)).collect();
+    let extra_unmarked: Vec<Edge> =
+        snapshot.edges().filter(|e| e.kind == EdgeKind::Unmarked && !desired.has_edge(e)).collect();
 
     let ring_pair_present = oracle::desired_ring_pair(real_ids)
         .map(|(a, b)| snapshot.has_edge(&a) && snapshot.has_edge(&b))

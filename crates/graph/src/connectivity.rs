@@ -68,8 +68,7 @@ pub fn weakly_connected(g: &OverlayGraph) -> bool {
 
 /// Number of weakly connected components over all nodes.
 pub fn component_count(g: &OverlayGraph) -> usize {
-    let index: BTreeMap<&NodeRef, usize> =
-        g.nodes().enumerate().map(|(i, n)| (n, i)).collect();
+    let index: BTreeMap<&NodeRef, usize> = g.nodes().enumerate().map(|(i, n)| (n, i)).collect();
     if index.is_empty() {
         return 0;
     }

@@ -33,8 +33,7 @@ pub fn to_dot(g: &OverlayGraph, style: &DotStyle) -> String {
     }
     let _ = writeln!(out, "  node [fontsize=9];");
     for n in g.nodes() {
-        let (shape, fill) =
-            if n.is_real() { ("box", "lightblue") } else { ("ellipse", "white") };
+        let (shape, fill) = if n.is_real() { ("box", "lightblue") } else { ("ellipse", "white") };
         let _ = writeln!(
             out,
             "  \"{}\" [shape={shape}, style=filled, fillcolor={fill}, label=\"{}\"];",
@@ -81,9 +80,7 @@ mod tests {
         let a = NodeRef::real(Ident::from_f64(0.1));
         let v = NodeRef::virtual_node(Ident::from_f64(0.1), 2);
         let b = NodeRef::real(Ident::from_f64(0.7));
-        [Edge::unmarked(a, b), Edge::ring(b, a), Edge::connection(v, b)]
-            .into_iter()
-            .collect()
+        [Edge::unmarked(a, b), Edge::ring(b, a), Edge::connection(v, b)].into_iter().collect()
     }
 
     #[test]

@@ -143,9 +143,7 @@ impl OverlayGraph {
 
     /// Does the graph contain this exact classed edge?
     pub fn has_edge(&self, edge: &Edge) -> bool {
-        self.nodes
-            .get(&edge.from)
-            .is_some_and(|adj| adj.of(edge.kind).contains(&edge.to))
+        self.nodes.get(&edge.from).is_some_and(|adj| adj.of(edge.kind).contains(&edge.to))
     }
 
     /// All nodes, in position order.
@@ -186,9 +184,9 @@ impl OverlayGraph {
     /// Iterates every classed edge, in deterministic order.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         self.nodes.iter().flat_map(|(&from, adj)| {
-            EdgeKind::ALL.into_iter().flat_map(move |kind| {
-                adj.of(kind).iter().map(move |&to| Edge { from, to, kind })
-            })
+            EdgeKind::ALL
+                .into_iter()
+                .flat_map(move |kind| adj.of(kind).iter().map(move |&to| Edge { from, to, kind }))
         })
     }
 
@@ -299,8 +297,7 @@ mod tests {
     fn subset_and_difference() {
         let (a, b, c) = (r(0.1), r(0.2), r(0.3));
         let small: OverlayGraph = [Edge::unmarked(a, b)].into_iter().collect();
-        let big: OverlayGraph =
-            [Edge::unmarked(a, b), Edge::unmarked(b, c)].into_iter().collect();
+        let big: OverlayGraph = [Edge::unmarked(a, b), Edge::unmarked(b, c)].into_iter().collect();
         assert!(small.edges_subset_of(&big));
         assert!(!big.edges_subset_of(&small));
         assert_eq!(big.edge_difference(&small), vec![Edge::unmarked(b, c)]);
@@ -320,13 +317,8 @@ mod tests {
     #[test]
     fn degree_summary_counts_in_and_out() {
         let (a, b, c) = (r(0.1), r(0.2), r(0.3));
-        let g: OverlayGraph = [
-            Edge::unmarked(a, b),
-            Edge::unmarked(a, c),
-            Edge::ring(b, c),
-        ]
-        .into_iter()
-        .collect();
+        let g: OverlayGraph =
+            [Edge::unmarked(a, b), Edge::unmarked(a, c), Edge::ring(b, c)].into_iter().collect();
         let d = g.degree_summary();
         assert_eq!(d.max_out, 2);
         assert_eq!(d.max_in, 2); // c has two in-edges

@@ -9,11 +9,7 @@ fn node_refs() -> impl Strategy<Value = NodeRef> {
 }
 
 fn kinds() -> impl Strategy<Value = EdgeKind> {
-    prop_oneof![
-        Just(EdgeKind::Unmarked),
-        Just(EdgeKind::Ring),
-        Just(EdgeKind::Connection)
-    ]
+    prop_oneof![Just(EdgeKind::Unmarked), Just(EdgeKind::Ring), Just(EdgeKind::Connection)]
 }
 
 fn edges() -> impl Strategy<Value = Edge> {

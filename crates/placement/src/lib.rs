@@ -18,12 +18,19 @@
 //! * [`PlacementMap::apply_join`] / [`PlacementMap::apply_leave`] — O(moved
 //!   keys) topology deltas: arc split/merge, graceful max-merge handoff to
 //!   the successor, crash loss;
-//! * [`PlacementMap::repair_delta`] — the incremental anti-entropy pass: it
-//!   re-replicates only the arcs adjacent to changed peers, O(moved keys)
-//!   instead of O(all keys);
+//! * [`PlacementMap::begin_repair`] / [`PlacementMap::repair_step`] — the
+//!   **paced** repair plan: dirty arcs drain in deterministic ring order,
+//!   at most `max_keys` records moved per step, with a resume cursor
+//!   between steps, a per-peer capacity cap on surplus repair copies
+//!   ([`PlacementMap::set_peer_capacity`]), and automatic invalidation by
+//!   churn (the next plan re-begins from the surviving dirty set);
+//! * [`PlacementMap::repair_delta`] — the one-shot incremental anti-entropy
+//!   pass: it re-replicates only the arcs adjacent to changed peers,
+//!   O(moved keys) instead of O(all keys);
 //! * [`PlacementMap::rebuild`] — the full recomputation, kept solely as the
-//!   property-test oracle (`repair_delta` composed over any churn trace must
-//!   be bit-identical to `rebuild` on the final snapshot).
+//!   property-test oracle (`repair_delta`, or any schedule of bounded
+//!   `repair_step` calls, composed over any churn trace must be
+//!   bit-identical to `rebuild` on the final snapshot).
 //!
 //! [`rechord_routing`]: https://docs.rs/rechord_routing
 //! [`rechord_workload`]: https://docs.rs/rechord_workload
@@ -50,6 +57,18 @@
 //! let mut oracle = map.clone();
 //! oracle.rebuild();
 //! assert_eq!(map, oracle);
+//!
+//! // Paced repair spreads the same work over bounded steps: a bandwidth
+//! // model moves at most `max_keys` records per tick and resumes where it
+//! // left off — converging to the very same placement.
+//! map.apply_join(space.ident_of(123));
+//! let backlog = map.begin_repair();
+//! let mut steps = 0;
+//! while !map.repair_step(8).done {
+//!     steps += 1;
+//! }
+//! assert!(backlog > 8 && steps > 0, "several bounded steps drained the backlog");
+//! assert_eq!(map.repair_backlog_keys(), 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -57,7 +76,7 @@
 
 mod map;
 
-pub use map::{Departure, PlacementMap, Probe, Record, RepairStats};
+pub use map::{Departure, PlacementMap, Probe, Record, RepairStats, RepairStep};
 
 #[cfg(test)]
 mod proptests;

@@ -79,6 +79,40 @@ impl<V> Record<V> {
 type ShardKey = (Ident, u64);
 type Shard<V> = BTreeMap<ShardKey, Record<V>>;
 
+/// What one bounded [`PlacementMap::repair_step`] call did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RepairStep {
+    /// The step's work, in the same units as a full pass.
+    pub stats: RepairStats,
+    /// Copies created per receiving peer this step, ascending by peer —
+    /// exactly the transfers a bandwidth model should admit through the
+    /// receiver's service queue.
+    pub transfers: Vec<(Ident, usize)>,
+    /// Copies withheld because the receiving peer sat at its capacity cap
+    /// (the key stays readable at its primary but under-replicated until
+    /// the next churn re-dirties its arc).
+    pub rejected_copies: usize,
+    /// True when this step drained the plan completely (the map is clean).
+    pub done: bool,
+}
+
+/// Resume state of an in-progress paced repair (see
+/// [`PlacementMap::begin_repair`]). Transient: it never participates in
+/// placement equality, and any topology change drops it (the surviving
+/// dirty set seeds the next plan).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct PlanState {
+    /// Dirty primaries in ascending ring order; `idx` is the next to drain.
+    worklist: Vec<Ident>,
+    idx: usize,
+    /// Last examined key of the current arc — the resume point after a
+    /// budget-exhausted step.
+    cursor: Option<ShardKey>,
+    /// Keys left to examine (the backlog gauge; best-effort under puts
+    /// landing mid-plan, which are placed clean and need no repair).
+    remaining: usize,
+}
+
 /// What probing a key's replica set found (see [`PlacementMap::lookup`]).
 #[derive(Debug)]
 pub struct Probe<'a, V> {
@@ -103,7 +137,7 @@ pub struct Probe<'a, V> {
 /// record's holder set equals its current replica set; composing
 /// `repair_delta` over any churn trace therefore reaches the exact state
 /// [`PlacementMap::rebuild`] computes from scratch.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct PlacementMap<V> {
     peers: Vec<Ident>,
     replication: usize,
@@ -115,7 +149,29 @@ pub struct PlacementMap<V> {
     /// (its arc merged clockwise — resolution follows the successor) or had
     /// its arc split (the new sub-arc was marked by its own join).
     dirty: BTreeSet<Ident>,
+    /// The active paced-repair plan, if a [`PlacementMap::begin_repair`] is
+    /// mid-drain. Invalidated by any join/leave.
+    plan: Option<PlanState>,
+    /// Per-peer storage cap enforced on **repair** copies (`0` = unlimited;
+    /// puts and graceful handoffs are never rejected — the cap models
+    /// background re-replication yielding to live data).
+    max_keys_per_peer: usize,
 }
+
+/// Placement equality is over the durable state — peers, records, holders,
+/// dirty markers — never the transient repair cursor: a paced drain that
+/// just finished equals the same map repaired in one shot.
+impl<V: PartialEq> PartialEq for PlacementMap<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.peers == other.peers
+            && self.replication == other.replication
+            && self.shards == other.shards
+            && self.held == other.held
+            && self.dirty == other.dirty
+    }
+}
+
+impl<V: Eq> Eq for PlacementMap<V> {}
 
 impl<V> PlacementMap<V> {
     /// An empty map with no peers. `replication` is clamped to at least 1.
@@ -135,7 +191,23 @@ impl<V> PlacementMap<V> {
             shards,
             held: BTreeMap::new(),
             dirty: BTreeSet::new(),
+            plan: None,
+            max_keys_per_peer: 0,
         }
+    }
+
+    /// Caps how many copies a peer may hold before **repair** stops adding
+    /// more there (`0` = unlimited, the default). The cap never rejects the
+    /// primary copy — the arc owner's responsibility is not optional — and
+    /// never applies to puts or graceful handoffs, so data is refused only
+    /// by background re-replication, never by the write path.
+    pub fn set_peer_capacity(&mut self, max_keys_per_peer: usize) {
+        self.max_keys_per_peer = max_keys_per_peer;
+    }
+
+    /// The configured per-peer repair-copy cap (`0` = unlimited).
+    pub fn peer_capacity(&self) -> usize {
+        self.max_keys_per_peer
     }
 
     /// The current peer snapshot, ascending.
@@ -285,6 +357,7 @@ impl<V> PlacementMap<V> {
         let Err(idx) = self.peers.binary_search(&peer) else {
             return false;
         };
+        self.plan = None; // churn preempts any paced repair in progress
         self.peers.insert(idx, peer);
         let n = self.peers.len();
         let mut shard = Shard::new();
@@ -309,6 +382,7 @@ impl<V> PlacementMap<V> {
         let Ok(idx) = self.peers.binary_search(&peer) else {
             return false;
         };
+        self.plan = None; // churn preempts any paced repair in progress
         self.peers.remove(idx);
         let old_shard = self.shards.remove(&peer).expect("departing shard exists");
         let held_by = self.held.remove(&peer).unwrap_or_default();
@@ -366,32 +440,177 @@ impl<V> PlacementMap<V> {
         }
     }
 
+    /// Starts (or restarts) a **paced** repair: the dirty markers are
+    /// canonicalized to their owning primaries and queued in ascending ring
+    /// order for [`PlacementMap::repair_step`] to drain. Returns the backlog
+    /// — keys sitting in dirty arcs that the plan will examine. Beginning
+    /// with nothing dirty yields an empty plan (the first step reports
+    /// `done`). Any join/leave invalidates the plan; the next
+    /// `begin_repair` resumes from the surviving dirty set.
+    pub fn begin_repair(&mut self) -> usize {
+        let canon: BTreeSet<Ident> =
+            self.dirty.iter().filter_map(|&d| self.primary_for(d)).collect();
+        self.dirty = canon.clone();
+        let worklist: Vec<Ident> = canon.into_iter().collect();
+        let remaining = worklist.iter().map(|p| self.shards.get(p).map_or(0, Shard::len)).sum();
+        self.plan = Some(PlanState { worklist, idx: 0, cursor: None, remaining });
+        remaining
+    }
+
+    /// Is there repair work outstanding? An arc leaves the dirty set only
+    /// once fully drained, so the dirty set alone answers this — for a
+    /// plan mid-drain exactly the pending worklist arcs are still dirty.
+    pub fn repair_pending(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Keys still to examine before the map is fully repaired — the
+    /// backlog gauge a bandwidth model reports per tick. O(1) with a plan
+    /// active, O(dirty arcs) otherwise.
+    pub fn repair_backlog_keys(&self) -> usize {
+        match &self.plan {
+            Some(p) => p.remaining,
+            None => {
+                let canon: BTreeSet<Ident> =
+                    self.dirty.iter().filter_map(|&d| self.primary_for(d)).collect();
+                canon.iter().map(|p| self.shards.get(p).map_or(0, Shard::len)).sum()
+            }
+        }
+    }
+
+    /// One bounded slice of the active repair plan: drains dirty arcs in
+    /// ring order, moving at most `max_keys` records (examining a record
+    /// that already sits on its replica set is free — only actual copy
+    /// movement spends budget). A step that exhausts its budget parks a
+    /// cursor mid-arc and resumes there next call; an arc leaves the dirty
+    /// set only once fully drained, so a plan preempted by churn re-begins
+    /// from everything still unrepaired. Auto-begins a plan when none is
+    /// active. With `max_keys = usize::MAX` and no capacity cap, one step
+    /// is exactly [`PlacementMap::repair_delta`].
+    pub fn repair_step(&mut self, max_keys: usize) -> RepairStep {
+        if self.plan.is_none() {
+            self.begin_repair();
+        }
+        let mut plan = self.plan.take().expect("plan just ensured");
+        let mut step = RepairStep::default();
+        let mut transfers: BTreeMap<Ident, usize> = BTreeMap::new();
+        while plan.idx < plan.worklist.len() && step.stats.keys_moved < max_keys {
+            let primary = plan.worklist[plan.idx];
+            let finished = self.step_shard(primary, &mut plan, max_keys, &mut step, &mut transfers);
+            if !finished {
+                break; // budget ran out mid-arc; cursor marks the spot
+            }
+            step.stats.arcs_touched += 1;
+            self.dirty.remove(&primary);
+            plan.idx += 1;
+            plan.cursor = None;
+        }
+        step.done = plan.idx >= plan.worklist.len();
+        self.plan = if step.done { None } else { Some(plan) };
+        step.transfers = transfers.into_iter().collect();
+        step
+    }
+
+    /// Drains one arc from the plan cursor, stopping at the move budget.
+    /// Returns true iff the arc finished.
+    fn step_shard(
+        &mut self,
+        primary: Ident,
+        plan: &mut PlanState,
+        max_keys: usize,
+        step: &mut RepairStep,
+        transfers: &mut BTreeMap<Ident, usize>,
+    ) -> bool {
+        use std::ops::Bound::{Excluded, Unbounded};
+        let Ok(start) = self.peers.binary_search(&primary) else {
+            return true; // primary vanished mid-plan: impossible (churn invalidates), skip
+        };
+        let n = self.peers.len();
+        let r = self.replication.min(n);
+        let mut target: Vec<Ident> = (0..r).map(|k| self.peers[(start + k) % n]).collect();
+        target.sort_unstable();
+        let cap = self.max_keys_per_peer;
+        // Take the shard out so the holder index can be edited alongside.
+        let mut shard = std::mem::take(self.shards.get_mut(&primary).expect("shard per peer"));
+        let mut finished = true;
+        let range = match plan.cursor {
+            Some(c) => shard.range_mut((Excluded(c), Unbounded)),
+            None => shard.range_mut(..),
+        };
+        for (sk, rec) in range {
+            if step.stats.keys_moved >= max_keys {
+                finished = false;
+                break;
+            }
+            step.stats.keys_examined += 1;
+            plan.remaining = plan.remaining.saturating_sub(1);
+            plan.cursor = Some(*sk);
+            if rec.holders == target {
+                continue;
+            }
+            let mut changed = false;
+            rec.holders.retain(|h| {
+                if target.binary_search(h).is_ok() {
+                    return true;
+                }
+                changed = true;
+                step.stats.copies_dropped += 1;
+                if let Some(set) = self.held.get_mut(h) {
+                    set.remove(sk);
+                    if set.is_empty() {
+                        self.held.remove(h);
+                    }
+                }
+                false
+            });
+            for &t in &target {
+                if rec.holders.binary_search(&t).is_err() {
+                    // The primary copy is mandatory (it owns the arc); only
+                    // surplus replicas yield to the capacity cap.
+                    if t != primary && cap != 0 && self.held.get(&t).map_or(0, BTreeSet::len) >= cap
+                    {
+                        step.rejected_copies += 1;
+                        continue;
+                    }
+                    changed = true;
+                    step.stats.copies_added += 1;
+                    *transfers.entry(t).or_insert(0) += 1;
+                    self.held.entry(t).or_default().insert(*sk);
+                    let at = rec.holders.binary_search(&t).unwrap_err();
+                    rec.holders.insert(at, t);
+                }
+            }
+            if changed {
+                step.stats.keys_moved += 1;
+            }
+        }
+        *self.shards.get_mut(&primary).expect("shard per peer") = shard;
+        finished
+    }
+
     /// The incremental anti-entropy pass: re-replicates exactly the arcs
     /// marked dirty since the last repair — every record in a touched arc
     /// ends with its holder set equal to the arc's current replica set
     /// (copies created where missing, stale ones dropped). O(keys in dirty
-    /// arcs), not O(all keys); a repair with nothing dirty is free.
+    /// arcs), not O(all keys); a repair with nothing dirty is free. Ignores
+    /// the capacity cap (it is the uncapped, unpaced oracle) and restarts
+    /// any active paced plan. Implemented as one unbounded
+    /// [`PlacementMap::repair_step`] — the pacing machinery has exactly one
+    /// repair implementation, verified against [`PlacementMap::rebuild`].
     pub fn repair_delta(&mut self) -> RepairStats {
-        let dirty = std::mem::take(&mut self.dirty);
-        let mut primaries: BTreeSet<Ident> = BTreeSet::new();
-        for d in dirty {
-            // A departed marker resolves to the successor that absorbed its
-            // arc; a live one resolves to itself.
-            if let Some(p) = self.primary_for(d) {
-                primaries.insert(p);
-            }
-        }
-        let mut stats = RepairStats { arcs_touched: primaries.len(), ..Default::default() };
-        for primary in primaries {
-            self.repair_shard(primary, &mut stats);
-        }
-        stats
+        let cap = std::mem::take(&mut self.max_keys_per_peer);
+        self.begin_repair();
+        let step = self.repair_step(usize::MAX);
+        debug_assert!(step.done, "an unbounded step drains the whole plan");
+        self.max_keys_per_peer = cap;
+        step.stats
     }
 
     /// Recomputes the **entire** placement from the current snapshot — the
     /// O(all keys) fallback kept solely as the property-test oracle for
     /// [`PlacementMap::repair_delta`] (and as a bench baseline).
     pub fn rebuild(&mut self) -> RepairStats {
+        self.plan = None;
         self.dirty.clear();
         let n = self.peers.len();
         let mut stats = RepairStats { arcs_touched: n, ..Default::default() };
@@ -399,8 +618,7 @@ impl<V> PlacementMap<V> {
         let r = self.replication.min(n);
         for i in 0..n {
             let primary = self.peers[i];
-            let mut target: Vec<Ident> =
-                (0..r).map(|k| self.peers[(i + k) % n]).collect();
+            let mut target: Vec<Ident> = (0..r).map(|k| self.peers[(i + k) % n]).collect();
             target.sort_unstable();
             let shard = self.shards.get_mut(&primary).expect("shard per peer");
             for (sk, rec) in shard.iter_mut() {
@@ -420,45 +638,6 @@ impl<V> PlacementMap<V> {
         }
         self.held = held;
         stats
-    }
-
-    /// Re-replicates one shard onto its current replica set.
-    fn repair_shard(&mut self, primary: Ident, stats: &mut RepairStats) {
-        let Ok(start) = self.peers.binary_search(&primary) else {
-            return;
-        };
-        let n = self.peers.len();
-        let r = self.replication.min(n);
-        let mut target: Vec<Ident> = (0..r).map(|k| self.peers[(start + k) % n]).collect();
-        target.sort_unstable();
-        // Take the shard out so the holder index can be edited alongside.
-        let mut shard = std::mem::take(self.shards.get_mut(&primary).expect("shard per peer"));
-        for (sk, rec) in shard.iter_mut() {
-            stats.keys_examined += 1;
-            if rec.holders == target {
-                continue;
-            }
-            stats.keys_moved += 1;
-            for h in &rec.holders {
-                if target.binary_search(h).is_err() {
-                    stats.copies_dropped += 1;
-                    if let Some(set) = self.held.get_mut(h) {
-                        set.remove(sk);
-                        if set.is_empty() {
-                            self.held.remove(h);
-                        }
-                    }
-                }
-            }
-            for &t in &target {
-                if rec.holders.binary_search(&t).is_err() {
-                    stats.copies_added += 1;
-                    self.held.entry(t).or_default().insert(*sk);
-                }
-            }
-            rec.holders.clone_from(&target);
-        }
-        *self.shards.get_mut(&primary).expect("shard per peer") = shard;
     }
 
     /// Structural self-check used by the property tests: shard bucketing,
@@ -495,6 +674,16 @@ impl<V> PlacementMap<V> {
         if held_check != self.held {
             return Err("holder index diverged from record holders".into());
         }
+        if let Some(plan) = &self.plan {
+            for p in &plan.worklist[plan.idx.min(plan.worklist.len())..] {
+                if self.peers.binary_search(p).is_err() {
+                    return Err(format!("plan worklist names non-peer {p}"));
+                }
+                if !self.dirty.contains(p) {
+                    return Err(format!("pending plan arc {p} missing from dirty set"));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -505,7 +694,9 @@ fn extract_arc<V>(src: &mut Shard<V>, from: Ident, to: Ident) -> Vec<(ShardKey, 
     use std::ops::Bound::{Excluded, Included, Unbounded};
     let mut keys: Vec<ShardKey> = Vec::new();
     if from < to {
-        keys.extend(src.range((Excluded((from, u64::MAX)), Included((to, u64::MAX)))).map(|(k, _)| *k));
+        keys.extend(
+            src.range((Excluded((from, u64::MAX)), Included((to, u64::MAX)))).map(|(k, _)| *k),
+        );
     } else {
         // The arc wraps through the top of the ring.
         keys.extend(src.range((Excluded((from, u64::MAX)), Unbounded)).map(|(k, _)| *k));
@@ -702,6 +893,121 @@ mod tests {
         pm.put(space.key_position(1), 1, 2, "rewrite");
         let rec = pm.lookup(space.key_position(1), 1).hit.unwrap().1;
         assert_eq!((rec.version, rec.value), (2, "rewrite"));
+        pm.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn paced_steps_converge_to_the_one_shot_oracle() {
+        let (mut pm, space) = filled(12, 400, 3, 31);
+        pm.apply_join(space.ident_of(5_000));
+        let victim = pm.peers()[4];
+        pm.apply_leave(victim, Departure::Crash);
+
+        let mut oracle = pm.clone();
+        oracle.repair_delta();
+
+        let backlog = pm.begin_repair();
+        assert!(backlog > 0, "churn left a backlog");
+        assert_eq!(pm.repair_backlog_keys(), backlog);
+        let mut steps = 0;
+        let mut moved = 0;
+        let mut added = 0;
+        let mut last_backlog = backlog;
+        loop {
+            let step = pm.repair_step(7);
+            steps += 1;
+            moved += step.stats.keys_moved;
+            added += step.stats.copies_added;
+            assert!(step.stats.keys_moved <= 7, "budget respected: {:?}", step.stats);
+            let per_peer: usize = step.transfers.iter().map(|&(_, c)| c).sum();
+            assert_eq!(per_peer, step.stats.copies_added, "transfers account for every copy");
+            let now_backlog = pm.repair_backlog_keys();
+            assert!(now_backlog <= last_backlog, "backlog gauge is non-increasing");
+            last_backlog = now_backlog;
+            pm.check_invariants().unwrap();
+            if step.done {
+                break;
+            }
+        }
+        assert!(steps > 2, "a 7-key budget needs several steps here");
+        assert!(moved <= backlog, "cannot move more keys than the backlog held");
+        assert!(added > 0);
+        assert_eq!(pm.repair_backlog_keys(), 0);
+        assert!(!pm.repair_pending());
+        assert_eq!(pm, oracle, "paced drain must match the one-shot repair bit for bit");
+        assert!(pm.repair_step(usize::MAX).done, "clean map: step is an instant no-op");
+    }
+
+    #[test]
+    fn zero_budget_step_probes_without_progress() {
+        let (mut pm, space) = filled(8, 100, 2, 37);
+        pm.apply_join(space.ident_of(9_999));
+        let before = pm.clone();
+        let step = pm.repair_step(0);
+        assert!(!step.done, "dirty arcs remain");
+        assert!(step.stats.is_noop());
+        assert_eq!(pm, before, "a zero budget moves nothing");
+        assert!(pm.repair_pending());
+    }
+
+    #[test]
+    fn churn_preempts_the_plan_and_the_survivor_set_reseeds_it() {
+        let (mut pm, space) = filled(10, 300, 3, 41);
+        pm.apply_leave(pm.peers()[2], Departure::Crash);
+        pm.begin_repair();
+        let step = pm.repair_step(5);
+        assert!(!step.done, "plenty of backlog left");
+        // New churn mid-plan: the plan is dropped, dirty markers survive.
+        pm.apply_join(space.ident_of(4_242));
+        pm.check_invariants().unwrap();
+        assert!(pm.repair_pending(), "surviving dirty set keeps repair pending");
+        let backlog = pm.begin_repair();
+        assert!(backlog > 0);
+        while !pm.repair_step(11).done {
+            pm.check_invariants().unwrap();
+        }
+        let mut oracle = pm.clone();
+        assert!(oracle.rebuild().is_noop(), "paced drain reached the rebuild fixpoint");
+        assert_eq!(pm, oracle);
+    }
+
+    #[test]
+    fn capacity_cap_rejects_surplus_copies_but_never_the_primary() {
+        let space = IdSpace::new(47);
+        let peers = idents(6, 47);
+        let mut pm: PlacementMap<()> = PlacementMap::from_peers(&peers, 3);
+        for k in 0..240u64 {
+            pm.put(space.key_position(k), k, 0, ());
+        }
+        // A tight cap: every peer is already far over it, so repair may
+        // not add any surplus copies — only mandatory primary ones.
+        pm.set_peer_capacity(10);
+        assert_eq!(pm.peer_capacity(), 10);
+        pm.apply_leave(peers[1], Departure::Crash);
+        pm.begin_repair();
+        let mut rejected = 0;
+        loop {
+            let step = pm.repair_step(usize::MAX);
+            rejected += step.rejected_copies;
+            if step.done {
+                break;
+            }
+        }
+        assert!(rejected > 0, "an over-quota network must reject surplus repair copies");
+        pm.check_invariants().unwrap();
+        // Every surviving key is still served by its primary even though
+        // re-replication was refused.
+        for k in 0..240u64 {
+            let pos = space.key_position(k);
+            if pm.contains(pos, k) {
+                assert_eq!(pm.lookup(pos, k).hit.expect("primary copy is mandatory").0, 0);
+            }
+        }
+        // With the cap lifted, a full pass restores complete replication —
+        // rejection is deferred work, not permanent damage.
+        pm.set_peer_capacity(0);
+        let healed = pm.rebuild();
+        assert!(healed.copies_added > 0, "lifting the cap lets repair finish the job");
         pm.check_invariants().unwrap();
     }
 

@@ -20,6 +20,8 @@ enum TraceOp {
     Put(u64),
     /// Run an incremental repair pass mid-trace.
     Repair,
+    /// Run one bounded paced-repair step with this move budget.
+    Step(usize),
 }
 
 fn trace() -> impl Strategy<Value = Vec<TraceOp>> {
@@ -28,6 +30,7 @@ fn trace() -> impl Strategy<Value = Vec<TraceOp>> {
         ((0u64..48), any::<bool>()).prop_map(|(i, g)| TraceOp::Leave(i, g)),
         (0u64..256).prop_map(TraceOp::Put),
         Just(TraceOp::Repair),
+        (0usize..24).prop_map(TraceOp::Step),
     ];
     proptest::collection::vec(op, 0..40)
 }
@@ -66,6 +69,9 @@ fn run_trace(
             TraceOp::Repair => {
                 pm.repair_delta();
             }
+            TraceOp::Step(budget) => {
+                pm.repair_step(budget);
+            }
         }
         pm.check_invariants().expect("invariants hold after every step");
     }
@@ -95,6 +101,43 @@ proptest! {
         prop_assert!(delta_stats.keys_examined <= delta.key_count());
         prop_assert!(delta_stats.arcs_touched <= oracle_stats.arcs_touched);
         prop_assert!(delta_stats.keys_moved <= delta_stats.keys_examined);
+    }
+
+    /// The paced-repair property: draining the same trace's residue through
+    /// bounded `repair_step` calls — any budget schedule — converges to the
+    /// exact placement the one-shot `repair_delta` (and `rebuild`) computes.
+    #[test]
+    fn paced_steps_converge_to_the_one_shot_repair(
+        seed in 1u64..1_000,
+        initial in 1u64..12,
+        replication in 1usize..5,
+        ops in trace(),
+        budgets in proptest::collection::vec(1usize..17, 1..8),
+    ) {
+        let paced = run_trace(seed, initial, replication, &ops);
+        let mut oneshot = paced.clone();
+        oneshot.repair_delta();
+
+        let mut paced = paced;
+        let backlog = paced.begin_repair();
+        let mut moved_total = 0;
+        let mut cycle = budgets.iter().cycle();
+        loop {
+            let step = paced.repair_step(*cycle.next().expect("cycle never ends"));
+            moved_total += step.stats.keys_moved;
+            let transferred: usize = step.transfers.iter().map(|&(_, c)| c).sum();
+            prop_assert_eq!(transferred, step.stats.copies_added);
+            paced.check_invariants().expect("invariants hold mid-plan");
+            if step.done {
+                break;
+            }
+        }
+        prop_assert_eq!(&paced, &oneshot, "paced drain diverged from one-shot repair");
+        prop_assert!(moved_total <= backlog, "moved {moved_total} of a {backlog}-key backlog");
+        prop_assert!(!paced.repair_pending());
+
+        let mut rebuilt = paced.clone();
+        prop_assert!(rebuilt.rebuild().is_noop(), "paced result is a rebuild fixpoint");
     }
 
     /// Repair is idempotent and a repaired map is a `rebuild` fixpoint.

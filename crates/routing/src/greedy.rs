@@ -96,7 +96,11 @@ impl RoutingTable {
     /// `true` iff the peer is (still) present. `O(log n + k log k)` for a
     /// peer with `k` out-edges — the incremental alternative to rebuilding
     /// the whole table via [`RoutingTable::from_network`].
-    pub fn refresh_peer(&mut self, net: &rechord_core::network::ReChordNetwork, peer: Ident) -> bool {
+    pub fn refresh_peer(
+        &mut self,
+        net: &rechord_core::network::ReChordNetwork,
+        peer: Ident,
+    ) -> bool {
         match net.engine().state(peer) {
             Some(st) => {
                 if let Err(pos) = self.peers.binary_search(&peer) {
@@ -131,11 +135,7 @@ impl RoutingTable {
     /// Refreshes exactly the peers in `dirty` (as reported by
     /// `ReChordNetwork::round_dirty`) — the steady-state cost of keeping a
     /// table current drops to zero when a round changes nothing.
-    pub fn refresh_dirty(
-        &mut self,
-        net: &rechord_core::network::ReChordNetwork,
-        dirty: &[Ident],
-    ) {
+    pub fn refresh_dirty(&mut self, net: &rechord_core::network::ReChordNetwork, dirty: &[Ident]) {
         for &peer in dirty {
             self.refresh_peer(net, peer);
         }
@@ -147,11 +147,8 @@ impl RoutingTable {
     /// live, simulated nodes (always true once stabilized).
     pub fn refresh_from_network(&mut self, net: &rechord_core::network::ReChordNetwork) {
         self.peers = net.engine().ids().to_vec();
-        self.knowledge = net
-            .engine()
-            .iter()
-            .map(|(id, st)| (id, Self::knowledge_from_state(id, st)))
-            .collect();
+        self.knowledge =
+            net.engine().iter().map(|(id, st)| (id, Self::knowledge_from_state(id, st))).collect();
     }
 
     /// Mean/max size of per-peer knowledge (routing-table size analogue of
@@ -239,11 +236,8 @@ pub fn route_step(table: &RoutingTable, peer: Ident, cursor: Ident, key: Ident) 
             // at-or-after the key in this peer's knowledge. If that node is
             // someone else's, delegate without moving the cursor (imperfect
             // knowledge bounces are capped by the caller's hop budget).
-            let landing = known
-                .iter()
-                .filter(|t| t.is_real())
-                .min_by_key(|t| key.dist_cw(t.pos()))
-                .copied();
+            let landing =
+                known.iter().filter(|t| t.is_real()).min_by_key(|t| key.dist_cw(t.pos())).copied();
             match landing {
                 Some(t) if t.owner != peer => HopDecision::Next { peer: t.owner, cursor },
                 _ => HopDecision::Stuck,
@@ -403,11 +397,7 @@ mod tests {
         assert!(table.refresh_peer(&net, joiner));
         assert!(table.peers().contains(&joiner));
         // The joiner knows its contact straight away.
-        assert!(table
-            .knowledge_of(joiner)
-            .unwrap()
-            .iter()
-            .any(|t| t.owner == contact));
+        assert!(table.knowledge_of(joiner).unwrap().iter().any(|t| t.owner == contact));
         // Crash it again: refresh drops it.
         assert!(net.crash(joiner));
         assert!(!table.refresh_peer(&net, joiner));

@@ -1,7 +1,7 @@
 //! The deterministic synchronous round engine.
 
-use crate::{Outbox, SyncProtocol};
 use crate::report::{FixpointReport, RoundStats, Trace};
+use crate::{Outbox, SyncProtocol};
 use rechord_id::Ident;
 
 /// Read-only access to the previous round's global state (the snapshot
@@ -270,10 +270,7 @@ impl<P: SyncProtocol> Engine<P> {
                 marked,
             });
             if !out.changed {
-                return (
-                    FixpointReport { rounds: r + 1, converged: true, total_messages },
-                    trace,
-                );
+                return (FixpointReport { rounds: r + 1, converged: true, total_messages }, trace);
             }
         }
         (FixpointReport { rounds: max_rounds, converged: false, total_messages }, trace)
@@ -319,15 +316,14 @@ impl<P: SyncProtocol> Engine<P> {
         let mut buffers: Vec<Vec<(Ident, P::Msg)>> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
-            for ((id_chunk, st_chunk), fl_chunk) in ids
-                .chunks(chunk)
-                .zip(self.states.chunks_mut(chunk))
-                .zip(active_flags.chunks(chunk))
+            for ((id_chunk, st_chunk), fl_chunk) in
+                ids.chunks(chunk).zip(self.states.chunks_mut(chunk)).zip(active_flags.chunks(chunk))
             {
                 let view = RoundView { ids, states: prev };
                 handles.push(scope.spawn(move || {
                     let mut out = Outbox::new();
-                    for ((id, st), &fire) in id_chunk.iter().zip(st_chunk.iter_mut()).zip(fl_chunk) {
+                    for ((id, st), &fire) in id_chunk.iter().zip(st_chunk.iter_mut()).zip(fl_chunk)
+                    {
                         if fire {
                             protocol.step(*id, st, &view, &mut out);
                         }
@@ -448,7 +444,7 @@ mod tests {
         e.remove_node(victim);
         let out = e.round();
         assert_eq!(out.dropped, 0); // removal happened before the round: no stale target
-        // Now orchestrate a genuine drop: a one-node engine gossips to itself only.
+                                    // Now orchestrate a genuine drop: a one-node engine gossips to itself only.
         let mut single = engine_with(1, 1);
         let out = single.round();
         assert_eq!(out.delivered + out.dropped, 0, "no self-send");

@@ -60,10 +60,9 @@ mod tests {
         o.send(Ident::from_raw(9), 3);
         assert_eq!(o.len(), 3);
         let inner = o.into_inner();
-        assert_eq!(inner, vec![
-            (Ident::from_raw(5), 1),
-            (Ident::from_raw(5), 2),
-            (Ident::from_raw(9), 3)
-        ]);
+        assert_eq!(
+            inner,
+            vec![(Ident::from_raw(5), 1), (Ident::from_raw(5), 2), (Ident::from_raw(9), 3)]
+        );
     }
 }

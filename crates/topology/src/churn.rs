@@ -34,9 +34,7 @@ impl ChurnPlan {
     /// `joins` joins followed by nothing else — Theorem 4.1's workload.
     pub fn joins_only(joins: usize, seed: u64) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
-        ChurnPlan {
-            events: (0..joins).map(|_| ChurnEvent::Join { address: rng.gen() }).collect(),
-        }
+        ChurnPlan { events: (0..joins).map(|_| ChurnEvent::Join { address: rng.gen() }).collect() }
     }
 
     /// `leaves` graceful leaves — Theorem 4.2's workload.
@@ -116,10 +114,7 @@ impl TimedChurnPlan {
                 .events
                 .iter()
                 .enumerate()
-                .map(|(k, &event)| TimedChurnEvent {
-                    at: start + k as u64 * spacing,
-                    event,
-                })
+                .map(|(k, &event)| TimedChurnEvent { at: start + k as u64 * spacing, event })
                 .collect(),
         }
     }
@@ -230,8 +225,8 @@ mod tests {
         assert!(matches!(merged.events()[0].event, ChurnEvent::Join { .. }));
         assert!(matches!(merged.events()[1].event, ChurnEvent::Crash));
         // determinism end to end
-        let again = TimedChurnPlan::join_wave(2, 50, 100, 7)
-            .merged(TimedChurnPlan::crash_wave(2, 50, 50));
+        let again =
+            TimedChurnPlan::join_wave(2, 50, 100, 7).merged(TimedChurnPlan::crash_wave(2, 50, 50));
         assert_eq!(merged, again);
     }
 

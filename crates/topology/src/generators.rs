@@ -202,8 +202,7 @@ mod tests {
         assert_eq!(t.edges.len(), 11);
         assert!(t.is_weakly_connected());
         // Without the bridge the graph splits in two.
-        let without: Vec<_> =
-            t.edges.iter().copied().filter(|&e| e != (0, 1)).collect();
+        let without: Vec<_> = t.edges.iter().copied().filter(|&e| e != (0, 1)).collect();
         let split = InitialTopology::new(t.ids.clone(), without);
         assert!(!split.is_weakly_connected());
     }

@@ -25,9 +25,8 @@ impl InitialTopology {
         let original = ids.clone();
         ids.sort_unstable();
         ids.dedup();
-        let remap = |i: usize| -> usize {
-            ids.binary_search(&original[i]).expect("id present after sort")
-        };
+        let remap =
+            |i: usize| -> usize { ids.binary_search(&original[i]).expect("id present after sort") };
         let set: BTreeSet<(usize, usize)> = edges
             .into_iter()
             .filter(|(a, b)| *a < original.len() && *b < original.len())

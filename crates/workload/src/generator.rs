@@ -168,8 +168,7 @@ mod tests {
     fn put_fraction_roughly_holds() {
         let cfg = TrafficConfig { put_fraction: 0.25, ..Default::default() };
         let mut g = TrafficGen::new(cfg, 5);
-        let puts =
-            (0..10_000).filter(|&k| g.next_request(k).op == Op::Put).count();
+        let puts = (0..10_000).filter(|&k| g.next_request(k).op == Op::Put).count();
         assert!((2_000..3_000).contains(&puts), "{puts} puts out of 10k");
     }
 

@@ -13,9 +13,10 @@ use std::collections::BTreeMap;
 pub enum LatencyModel {
     /// Every hop takes exactly this many ticks.
     Fixed(u64),
-    /// Uniform in `[lo, hi]` ticks.
+    /// Uniform in `[lo, hi]` ticks, floored at 1 — a hop always takes at
+    /// least one tick of virtual time, like every other model.
     Uniform {
-        /// Smallest possible hop latency.
+        /// Smallest possible hop latency (a draw of 0 is floored to 1).
         lo: u64,
         /// Largest possible hop latency (inclusive; must be `>= lo`).
         hi: u64,
@@ -39,7 +40,10 @@ impl LatencyModel {
             }
             LatencyModel::Uniform { lo, hi } => {
                 assert!(lo <= hi, "uniform latency needs lo <= hi");
-                lo + rng.gen_range(0..hi - lo + 1)
+                // Inclusive draw: `hi - lo + 1` would overflow at
+                // `hi == u64::MAX`, and the result is floored like the
+                // other models so `lo: 0` cannot yield a zero-tick hop.
+                rng.gen_range(lo..=hi).max(1)
             }
             LatencyModel::Exponential { mean } => {
                 let d = Exp::new(1.0 / mean.max(f64::MIN_POSITIVE));
@@ -48,11 +52,12 @@ impl LatencyModel {
         }
     }
 
-    /// The model's mean hop latency in ticks.
+    /// The model's mean hop latency in ticks (approximate for a `Uniform`
+    /// with `lo: 0`, where the ≥1 floor shifts the true mean slightly up).
     pub fn mean(&self) -> f64 {
         match *self {
             LatencyModel::Fixed(t) => t.max(1) as f64,
-            LatencyModel::Uniform { lo, hi } => (lo + hi) as f64 / 2.0,
+            LatencyModel::Uniform { lo, hi } => ((lo as f64 + hi as f64) / 2.0).max(1.0),
             LatencyModel::Exponential { mean } => mean,
         }
     }
@@ -137,6 +142,29 @@ mod tests {
     }
 
     #[test]
+    fn uniform_full_width_and_zero_lo_are_safe() {
+        // `hi == u64::MAX` used to overflow in `hi - lo + 1`; the inclusive
+        // draw must cover the full width without panicking.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let full = LatencyModel::Uniform { lo: 0, hi: u64::MAX };
+        for _ in 0..100 {
+            assert!(full.sample(&mut rng) >= 1, "even the widest draw is floored at 1");
+        }
+        let top = LatencyModel::Uniform { lo: u64::MAX, hi: u64::MAX };
+        assert_eq!(top.sample(&mut rng), u64::MAX);
+        // `lo: 0` draws are floored: a hop never takes zero virtual time.
+        let low = LatencyModel::Uniform { lo: 0, hi: 3 };
+        let mut floored = 0;
+        for _ in 0..2_000 {
+            let x = low.sample(&mut rng);
+            assert!((1..=3).contains(&x));
+            floored += u64::from(x == 1);
+        }
+        assert!(floored > 600, "0 and 1 both collapse onto the 1-tick floor ({floored})");
+        assert_eq!(LatencyModel::Uniform { lo: 0, hi: 0 }.mean(), 1.0);
+    }
+
+    #[test]
     fn exponential_mean_roughly_holds() {
         let m = LatencyModel::Exponential { mean: 20.0 };
         let mut rng = SmallRng::seed_from_u64(3);
@@ -167,6 +195,51 @@ mod tests {
         assert_eq!(q.backlog_of(q2, 400), 0);
         q.forget(p);
         assert_eq!(q.backlog_of(p, 0), 0);
+    }
+
+    #[test]
+    fn forget_never_resurrects_backlog() {
+        // Crash semantics: `forget()` must wipe a peer's backlog for good —
+        // a later admission (only possible for a *live* peer of the same
+        // ident, e.g. after a rejoin) starts from an idle server, never
+        // from the ghost's queue.
+        let p = Ident::from_raw(3);
+        let mut q = ServiceQueue::new(10);
+        q.admit(p, 100);
+        q.admit(p, 100);
+        q.admit(p, 100);
+        assert_eq!(q.backlog_of(p, 100), 30);
+        q.forget(p);
+        assert_eq!(q.backlog_of(p, 100), 0, "forgotten backlog is gone");
+        assert_eq!(q.admit(p, 101), 111, "post-forget admission starts idle");
+        assert_eq!(q.backlog_of(p, 101), 10);
+        // Forgetting an unknown peer is a no-op, not a panic.
+        q.forget(Ident::from_raw(999));
+    }
+
+    #[test]
+    fn backlog_is_monotone_nonincreasing_between_admissions() {
+        // Between admissions the backlog can only drain: for any admission
+        // schedule, `backlog_of` evaluated at non-decreasing instants with
+        // no admission in between never grows.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let p = Ident::from_raw(5);
+        for _ in 0..200 {
+            let mut q = ServiceQueue::new(rng.gen_range(1u64..12));
+            let mut now = 0u64;
+            for _ in 0..rng.gen_range(1usize..20) {
+                now += rng.gen_range(0u64..30);
+                q.admit(p, now);
+            }
+            let mut last = q.backlog_of(p, now);
+            for _ in 0..20 {
+                now += rng.gen_range(0u64..15);
+                let b = q.backlog_of(p, now);
+                assert!(b <= last, "backlog grew from {last} to {b} with no admission");
+                last = b;
+            }
+            assert_eq!(q.backlog_of(p, now + 1_000_000), 0, "every backlog drains");
+        }
     }
 
     #[test]

@@ -17,11 +17,20 @@
 //!   peer pays deterministic FIFO queueing delay;
 //! * request lifecycle — hop-by-hop greedy routing that re-reads the live
 //!   routing table between hops (requests issued mid-stabilization can
-//!   stall, retry, or be lost), successor-list replication through the
-//!   shared `rechord_placement` engine with an **incremental** anti-entropy
-//!   repair pass at each fixpoint (O(moved keys), not O(all keys));
+//!   stall, retry — paying a counted hop and its sampled latency on
+//!   re-entry — or be lost), successor-list replication through the shared
+//!   `rechord_placement` engine with an **incremental** anti-entropy
+//!   repair pass opened at each fixpoint (O(moved keys), not O(all keys));
+//! * **paced repair** — `repair_bandwidth` caps keys moved per tick, every
+//!   transferred copy is admitted through the receiver's service queue
+//!   (repair competes with foreground traffic), `max_keys_per_peer` lets a
+//!   full peer refuse surplus repair copies, and churn preempts a pass
+//!   mid-drain; until a key's window is re-replicated, gets probing a
+//!   not-yet-copied replica surface as `StaleRead` — the client-visible
+//!   repair lag an instantaneous model would hide;
 //! * [`SloSink`] — p50/p90/p99 virtual latency, availability, throughput,
-//!   windowed timelines, and per-repair cost records ([`RepairEvent`]).
+//!   windowed timelines, and the repair timeline ([`RepairEvent`]: pass
+//!   start/end, time-to-full-replication, per-tick backlog gauge).
 //!
 //! ```
 //! use rechord_core::network::ReChordNetwork;

@@ -7,14 +7,39 @@ use rechord_analysis::Histogram;
 use rechord_placement::RepairStats;
 use std::fmt;
 
-/// One anti-entropy repair pass, stamped with the virtual instant the
-/// overlay reached its fixpoint and the pass ran.
+/// One anti-entropy repair pass. An unpaced pass starts and ends at the
+/// stabilization fixpoint that triggered it; a **paced** pass opens at the
+/// fixpoint ([`SloSink::repair_started`]), accumulates bounded
+/// [`SloSink::repair_tick`]s, and closes when the backlog drains
+/// ([`SloSink::repair_finished`]) or new churn preempts the plan
+/// ([`SloSink::repair_preempted`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RepairEvent {
-    /// Virtual time of the stabilization fixpoint that triggered the pass.
+    /// Virtual instant the pass closed (== `started_at` for an unpaced
+    /// pass, which repairs at the fixpoint itself).
     pub at: u64,
-    /// What the incremental pass did (keys moved, arcs touched, copies).
+    /// Virtual instant the pass opened (the stabilization fixpoint).
+    pub started_at: u64,
+    /// Keys sitting in dirty arcs when the pass opened — what the paced
+    /// drain had to work through.
+    pub backlog_at_start: usize,
+    /// Bounded repair ticks the pass took (1 for an unpaced pass).
+    pub ticks: usize,
+    /// Repair copies rejected by the per-peer capacity cap.
+    pub rejected_copies: usize,
+    /// True when churn invalidated the plan before the backlog drained;
+    /// the survivors re-enter the next pass's backlog.
+    pub preempted: bool,
+    /// What the pass did (keys moved, arcs touched, copies).
     pub stats: RepairStats,
+}
+
+impl RepairEvent {
+    /// Virtual time from the fixpoint to full replication (or to the
+    /// preemption): the window in which reads could see stale replicas.
+    pub fn duration(&self) -> u64 {
+        self.at.saturating_sub(self.started_at)
+    }
 }
 
 /// How a request ended.
@@ -104,13 +129,24 @@ pub struct SloSummary {
     pub repair_arcs_touched: usize,
     /// Virtual instant of the last repair pass (0 when none ran).
     pub last_repair_at: u64,
+    /// Bounded repair ticks, totalled across paced passes (1 per unpaced
+    /// pass).
+    pub repair_ticks: usize,
+    /// Repair copies rejected by the per-peer capacity cap, totalled.
+    pub repair_rejected_copies: usize,
+    /// Largest repair backlog (keys in dirty arcs) observed at any pass
+    /// start or tick — how far behind anti-entropy ever fell.
+    pub repair_backlog_peak: usize,
+    /// Longest time-to-full-replication over completed (non-preempted)
+    /// passes: the widest stale-read window a repair left open.
+    pub slowest_repair: u64,
 }
 
 impl fmt::Display for SloSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} reqs | avail {:.4} ({} ok / {} stale / {} lost) | latency p50/p90/p99/max {}/{}/{}/{} | {:.2} hops | {:.1} req/ktick | {} repairs ({} keys moved, {} arcs)",
+            "{} reqs | avail {:.4} ({} ok / {} stale / {} lost) | latency p50/p90/p99/max {}/{}/{}/{} | {:.2} hops | {:.1} req/ktick | {} repairs ({} keys moved, {} arcs) | backlog peak {} / slowest repair {}t",
             self.total,
             self.availability,
             self.success,
@@ -124,7 +160,9 @@ impl fmt::Display for SloSummary {
             self.throughput_per_ktick,
             self.repairs,
             self.repair_keys_moved,
-            self.repair_arcs_touched
+            self.repair_arcs_touched,
+            self.repair_backlog_peak,
+            self.slowest_repair
         )
     }
 }
@@ -159,6 +197,11 @@ impl WindowStat {
 pub struct SloSink {
     outcomes: Vec<RequestOutcome>,
     repairs: Vec<RepairEvent>,
+    /// The paced pass currently accumulating ticks, if any.
+    open_pass: Option<RepairEvent>,
+    /// `(instant, keys still to repair)` — sampled at every pass start and
+    /// after every paced tick: the repair-backlog timeline.
+    backlog_gauge: Vec<(u64, usize)>,
 }
 
 fn percentile(sorted: &[u64], q: f64) -> u64 {
@@ -180,14 +223,100 @@ impl SloSink {
         self.outcomes.push(outcome);
     }
 
-    /// Records one anti-entropy repair pass at virtual instant `at`.
+    /// Records one **unpaced** anti-entropy pass that ran to completion at
+    /// the fixpoint instant `at` (zero-duration: start == end).
     pub fn record_repair(&mut self, at: u64, stats: RepairStats) {
-        self.repairs.push(RepairEvent { at, stats });
+        self.repairs.push(RepairEvent {
+            at,
+            started_at: at,
+            backlog_at_start: stats.keys_examined,
+            ticks: 1,
+            rejected_copies: 0,
+            preempted: false,
+            stats,
+        });
+        self.backlog_gauge.push((at, 0));
     }
 
-    /// All repair passes, in virtual-time order.
+    /// Opens a paced pass at fixpoint instant `at` with `backlog_keys` to
+    /// drain. A pass already open is closed as preempted first (the sim
+    /// preempts explicitly; this is a belt-and-braces guard).
+    pub fn repair_started(&mut self, at: u64, backlog_keys: usize) {
+        if self.open_pass.is_some() {
+            self.repair_preempted(at);
+        }
+        self.open_pass = Some(RepairEvent {
+            at,
+            started_at: at,
+            backlog_at_start: backlog_keys,
+            ticks: 0,
+            rejected_copies: 0,
+            preempted: false,
+            stats: RepairStats::default(),
+        });
+        self.backlog_gauge.push((at, backlog_keys));
+    }
+
+    /// Folds one bounded repair tick into the open pass and samples the
+    /// backlog gauge. A tick with no pass open is dropped (debug-asserted).
+    pub fn repair_tick(&mut self, at: u64, stats: RepairStats, rejected: usize, backlog: usize) {
+        debug_assert!(self.open_pass.is_some(), "repair_tick without repair_started");
+        if let Some(pass) = &mut self.open_pass {
+            pass.at = at;
+            pass.ticks += 1;
+            pass.rejected_copies += rejected;
+            pass.stats.merge(stats);
+            self.backlog_gauge.push((at, backlog));
+        }
+    }
+
+    /// Closes the open paced pass at instant `at`: the backlog drained and
+    /// every surviving key is back on its full replica set.
+    pub fn repair_finished(&mut self, at: u64) {
+        if let Some(mut pass) = self.open_pass.take() {
+            pass.at = at;
+            self.repairs.push(pass);
+        }
+    }
+
+    /// Closes the open paced pass as preempted: churn invalidated the plan
+    /// at instant `at`; the unrepaired remainder seeds the next pass.
+    pub fn repair_preempted(&mut self, at: u64) {
+        if let Some(mut pass) = self.open_pass.take() {
+            pass.at = at;
+            pass.preempted = true;
+            self.repairs.push(pass);
+        }
+    }
+
+    /// All **closed** repair passes, in virtual-time order.
     pub fn repairs(&self) -> &[RepairEvent] {
         &self.repairs
+    }
+
+    /// The repair-backlog timeline: `(instant, keys still to repair)`
+    /// sampled at every pass start and paced tick.
+    pub fn backlog_gauge(&self) -> &[(u64, usize)] {
+        &self.backlog_gauge
+    }
+
+    /// Peak repair backlog per `width`-tick window: `(window start, max
+    /// keys outstanding)` for every window between the first and last
+    /// gauge sample. Empty when no repair ever ran.
+    pub fn backlog_windows(&self, width: u64) -> Vec<(u64, usize)> {
+        let width = width.max(1);
+        let Some(&(first, _)) = self.backlog_gauge.first() else {
+            return Vec::new();
+        };
+        let last = self.backlog_gauge.last().map_or(first, |&(at, _)| at);
+        let buckets = ((last - first) / width + 1) as usize;
+        let mut out: Vec<(u64, usize)> =
+            (0..buckets).map(|i| (first + i as u64 * width, 0)).collect();
+        for &(at, keys) in &self.backlog_gauge {
+            let i = ((at - first) / width) as usize;
+            out[i].1 = out[i].1.max(keys);
+        }
+        out
     }
 
     /// All outcomes, in completion order.
@@ -245,6 +374,21 @@ impl SloSink {
             repair_keys_moved: repair_total.keys_moved,
             repair_arcs_touched: repair_total.arcs_touched,
             last_repair_at: self.repairs.last().map_or(0, |r| r.at),
+            repair_ticks: self.repairs.iter().map(|r| r.ticks).sum(),
+            repair_rejected_copies: self.repairs.iter().map(|r| r.rejected_copies).sum(),
+            repair_backlog_peak: self
+                .backlog_gauge
+                .iter()
+                .map(|&(_, keys)| keys)
+                .max()
+                .unwrap_or(0),
+            slowest_repair: self
+                .repairs
+                .iter()
+                .filter(|r| !r.preempted)
+                .map(RepairEvent::duration)
+                .max()
+                .unwrap_or(0),
         }
     }
 
@@ -290,10 +434,7 @@ impl SloSink {
     pub fn latency_histogram(&self, width: u64, buckets: usize) -> Histogram {
         let mut h = Histogram::new(width, buckets);
         h.record_all(
-            self.outcomes
-                .iter()
-                .filter(|o| o.kind == OutcomeKind::Success)
-                .map(|o| o.latency()),
+            self.outcomes.iter().filter(|o| o.kind == OutcomeKind::Success).map(|o| o.latency()),
         );
         h
     }
@@ -414,19 +555,128 @@ mod tests {
         assert!(s.repairs().is_empty());
         s.record_repair(
             1_000,
-            RepairStats { arcs_touched: 3, keys_examined: 40, keys_moved: 12, copies_added: 12, copies_dropped: 5 },
+            RepairStats {
+                arcs_touched: 3,
+                keys_examined: 40,
+                keys_moved: 12,
+                copies_added: 12,
+                copies_dropped: 5,
+            },
         );
         s.record_repair(
             2_500,
-            RepairStats { arcs_touched: 2, keys_examined: 10, keys_moved: 4, copies_added: 4, copies_dropped: 4 },
+            RepairStats {
+                arcs_touched: 2,
+                keys_examined: 10,
+                keys_moved: 4,
+                copies_added: 4,
+                copies_dropped: 4,
+            },
         );
         let sum = s.summary();
         assert_eq!(sum.repairs, 2);
         assert_eq!(sum.repair_keys_moved, 16);
         assert_eq!(sum.repair_arcs_touched, 5);
         assert_eq!(sum.last_repair_at, 2_500);
+        assert_eq!(sum.repair_ticks, 2, "an unpaced pass counts as one tick");
+        assert_eq!(sum.slowest_repair, 0, "unpaced passes are instantaneous");
         let text = format!("{sum}");
         assert!(text.contains("2 repairs (16 keys moved, 5 arcs)"), "{text}");
+    }
+
+    #[test]
+    fn paced_pass_accumulates_ticks_into_one_event() {
+        let mut s = SloSink::new();
+        s.repair_started(1_000, 90);
+        let tick = |moved| RepairStats {
+            arcs_touched: 1,
+            keys_examined: 30,
+            keys_moved: moved,
+            copies_added: moved,
+            copies_dropped: 0,
+        };
+        s.repair_tick(1_001, tick(30), 0, 60);
+        s.repair_tick(1_002, tick(30), 2, 30);
+        s.repair_tick(1_003, tick(25), 0, 0);
+        assert!(s.repairs().is_empty(), "the pass is still open");
+        s.repair_finished(1_003);
+        let [pass] = s.repairs() else { panic!("exactly one pass") };
+        assert_eq!((pass.started_at, pass.at, pass.duration()), (1_000, 1_003, 3));
+        assert_eq!(pass.backlog_at_start, 90);
+        assert_eq!(pass.ticks, 3);
+        assert_eq!(pass.rejected_copies, 2);
+        assert_eq!(pass.stats.keys_moved, 85);
+        assert!(!pass.preempted);
+        assert!(pass.stats.keys_moved <= pass.backlog_at_start);
+        let sum = s.summary();
+        assert_eq!(sum.repairs, 1);
+        assert_eq!(sum.repair_ticks, 3);
+        assert_eq!(sum.repair_rejected_copies, 2);
+        assert_eq!(sum.repair_backlog_peak, 90);
+        assert_eq!(sum.slowest_repair, 3);
+        assert_eq!(s.backlog_gauge().len(), 4, "start + one sample per tick");
+    }
+
+    #[test]
+    fn preempted_pass_is_closed_and_excluded_from_slowest() {
+        let mut s = SloSink::new();
+        s.repair_started(500, 40);
+        s.repair_tick(
+            501,
+            RepairStats {
+                arcs_touched: 1,
+                keys_examined: 10,
+                keys_moved: 10,
+                copies_added: 10,
+                copies_dropped: 0,
+            },
+            0,
+            30,
+        );
+        s.repair_preempted(510);
+        // The next fixpoint re-begins from the survivors.
+        s.repair_started(900, 30);
+        s.repair_tick(
+            901,
+            RepairStats {
+                arcs_touched: 2,
+                keys_examined: 30,
+                keys_moved: 28,
+                copies_added: 28,
+                copies_dropped: 3,
+            },
+            0,
+            0,
+        );
+        s.repair_finished(901);
+        assert_eq!(s.repairs().len(), 2);
+        assert!(s.repairs()[0].preempted);
+        assert!(!s.repairs()[1].preempted);
+        let sum = s.summary();
+        assert_eq!(sum.repairs, 2);
+        assert_eq!(sum.slowest_repair, 1, "preempted passes never count as completed repairs");
+        assert_eq!(sum.repair_backlog_peak, 40);
+        // Calling finished/preempted with nothing open is a quiet no-op.
+        s.repair_finished(999);
+        s.repair_preempted(999);
+        assert_eq!(s.repairs().len(), 2);
+    }
+
+    #[test]
+    fn backlog_windows_track_the_peak_per_window() {
+        let mut s = SloSink::new();
+        s.repair_started(100, 500);
+        s.repair_tick(150, RepairStats::default(), 0, 400);
+        s.repair_tick(260, RepairStats::default(), 0, 200);
+        s.repair_tick(390, RepairStats::default(), 0, 0);
+        s.repair_finished(390);
+        let w = s.backlog_windows(100);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], (100, 500));
+        assert_eq!(w[1], (200, 200));
+        assert_eq!(w[2], (300, 0));
+        assert!(s.backlog_windows(1).len() >= 4);
+        assert!(SloSink::new().backlog_windows(100).is_empty());
     }
 
     #[test]

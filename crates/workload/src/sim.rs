@@ -16,9 +16,21 @@
 //! split/merge deltas (graceful leaves hand their copies to the successor,
 //! crashes lose them), and when a round leaves the network stable again an
 //! **incremental** anti-entropy pass re-replicates only the arcs adjacent
-//! to the changed peers — O(moved keys), not O(all keys) — with its cost
-//! (keys moved, arcs touched, fixpoint instant) recorded in the
-//! [`SloSink`].
+//! to the changed peers — O(moved keys), not O(all keys).
+//!
+//! Repair is **paced**, not free: with `repair_bandwidth > 0` the fixpoint
+//! only *opens* a pass, and `RepairTick`-event slices move at
+//! most that many keys per virtual tick, each transferred copy admitted
+//! through the receiving peer's [`ServiceQueue`] — repair traffic and
+//! foreground requests queue behind one another. While a key's window is
+//! still un-repaired, a get landing on a not-yet-copied replica surfaces
+//! as a [`OutcomeKind::StaleRead`] — the client-visible cost the old
+//! instantaneous-repair model hid. New churn preempts the pass (the plan
+//! is invalidated; the next fixpoint re-begins from the surviving dirty
+//! set), and `repair_bandwidth: 0` keeps the legacy
+//! instantaneous-at-the-fixpoint behavior. The whole timeline — pass
+//! start/end instants, per-tick backlog gauge, time-to-full-replication,
+//! capacity-cap rejections — is recorded in the [`SloSink`].
 
 use crate::event::EventQueue;
 use crate::generator::{Op, Request, TrafficConfig, TrafficGen};
@@ -71,6 +83,21 @@ pub struct WorkloadConfig {
     /// peer's server, FIFO — a hop through a loaded peer waits for the
     /// backlog ahead of it. `0` models infinite service rate (no queueing).
     pub service_time: u64,
+    /// Repair bandwidth: at most this many keys move per virtual tick once
+    /// a stabilization fixpoint opens an anti-entropy pass, with every
+    /// transferred copy admitted through the receiving peer's service
+    /// queue (repair competes with foreground traffic). `0` models
+    /// infinite bandwidth — the pre-paced behavior where the whole repair
+    /// lands instantaneously at the fixpoint.
+    pub repair_bandwidth: usize,
+    /// Per-peer storage cap for the **paced** repair path
+    /// (`repair_bandwidth > 0`): a repair copy headed for a peer already
+    /// holding this many keys is rejected (the key stays readable at its
+    /// primary, under-replicated until churn re-dirties its arc). `0`
+    /// models unlimited storage. Puts are never rejected, and the
+    /// instantaneous model (`repair_bandwidth: 0`) is the uncapped legacy
+    /// oracle — the cap is ignored there.
+    pub max_keys_per_peer: usize,
 }
 
 impl Default for WorkloadConfig {
@@ -89,6 +116,8 @@ impl Default for WorkloadConfig {
             max_rounds: 50_000,
             detection_lag: 200,
             service_time: 0,
+            repair_bandwidth: 0,
+            max_keys_per_peer: 0,
         }
     }
 }
@@ -127,6 +156,10 @@ enum SimEvent {
     SetHotKey(Option<(u64, f64)>),
     /// The failure detector fires: scrub the routing view of ghosts.
     RefreshTable,
+    /// One paced anti-entropy slice: move at most `repair_bandwidth` keys.
+    /// The epoch stamps which repair plan the tick belongs to — churn bumps
+    /// the epoch, so ticks of a preempted plan land as no-ops.
+    RepairTick(u64),
 }
 
 struct InFlight {
@@ -159,6 +192,11 @@ pub struct TrafficSim {
     round_scheduled: bool,
     rounds_run: u64,
     was_stable: bool,
+    /// Paced repair: the plan generation currently valid (churn bumps it,
+    /// orphaning any in-flight [`SimEvent::RepairTick`]) and whether a
+    /// drain is in progress.
+    repair_epoch: u64,
+    repair_running: bool,
 }
 
 impl TrafficSim {
@@ -176,12 +214,14 @@ impl TrafficSim {
             queue.push(cfg.traffic_start, SimEvent::Arrival);
         }
         queue.push(cfg.round_every.max(1), SimEvent::Round);
+        let mut placement = PlacementMap::from_peers(table.peers(), cfg.replication);
+        placement.set_peer_capacity(cfg.max_keys_per_peer);
         TrafficSim {
             space: IdSpace::new(cfg.seed),
             gen: TrafficGen::new(cfg.traffic, cfg.seed),
             rng: SmallRng::seed_from_u64(cfg.seed ^ 0x6c61_7465_6e63_7921),
             pending_churn: churn.len(),
-            placement: PlacementMap::from_peers(table.peers(), cfg.replication),
+            placement,
             service: ServiceQueue::new(cfg.service_time),
             cfg,
             net,
@@ -193,6 +233,8 @@ impl TrafficSim {
             round_scheduled: true,
             rounds_run: 0,
             was_stable: false,
+            repair_epoch: 0,
+            repair_running: false,
         }
     }
 
@@ -224,6 +266,7 @@ impl TrafficSim {
                 SimEvent::Churn(e) => self.on_churn(e),
                 SimEvent::SetHotKey(h) => self.gen.set_hot_key(h),
                 SimEvent::RefreshTable => self.table.refresh_from_network(&self.net),
+                SimEvent::RepairTick(epoch) => self.on_repair_tick(epoch),
             }
         }
         let lost_keys = self
@@ -278,15 +321,12 @@ impl TrafficSim {
             self.was_stable = false;
         } else {
             if !self.was_stable {
-                // Just reached a fixpoint: the incremental anti-entropy pass
-                // re-replicates surviving data onto its current replica sets
-                // — only the arcs dirtied by churn since the last repair. A
-                // fixpoint with nothing dirty (e.g. the first round of an
-                // already-placed run) records no repair event.
-                let stats = self.placement.repair_delta();
-                if stats.arcs_touched > 0 {
-                    self.sink.record_repair(self.queue.now(), stats);
-                }
+                // Just reached a fixpoint: open the anti-entropy pass that
+                // re-replicates surviving data onto its current replica
+                // sets — only the arcs dirtied by churn since the last
+                // repair. A fixpoint with nothing dirty (e.g. the first
+                // round of an already-placed run) records no repair event.
+                self.start_repair();
             }
             self.was_stable = true;
         }
@@ -307,6 +347,14 @@ impl TrafficSim {
         let selector = k.wrapping_mul(0x9e37) ^ (self.cfg.seed as usize);
         let applied = self.net.apply_event(&event, selector, self.cfg.seed.wrapping_add(k as u64));
         if let Some(peer) = applied {
+            if self.repair_running {
+                // Churn invalidates the repair plan mid-drain: orphan any
+                // in-flight ticks and let the next fixpoint re-begin from
+                // the surviving dirty set.
+                self.repair_running = false;
+                self.repair_epoch += 1;
+                self.sink.repair_preempted(self.queue.now());
+            }
             match event {
                 ChurnEvent::Join { .. } => {
                     // Only the joiner's state is new; everyone else is
@@ -339,6 +387,76 @@ impl TrafficSim {
         self.was_stable = false;
         if !self.round_scheduled && self.rounds_run < self.cfg.max_rounds {
             self.schedule_round();
+        }
+    }
+
+    // ---- paced anti-entropy -----------------------------------------------
+
+    /// Opens the repair pass a stabilization fixpoint owes. With
+    /// `repair_bandwidth == 0` the whole pass lands instantaneously at the
+    /// fixpoint (the pre-paced model); otherwise the first bounded slice
+    /// runs right here and the rest drains one `RepairTick` per tick. An
+    /// unbounded paced budget therefore degenerates to the unpaced
+    /// behavior — trace-identically when `service_time == 0` (the
+    /// default); with finite service capacity the paced path additionally
+    /// admits every transfer through the receivers' queues, which delays
+    /// foreground traffic (that contention *is* the model, so the two
+    /// modes then agree on placement and repair totals but not on
+    /// request timings).
+    fn start_repair(&mut self) {
+        if self.cfg.repair_bandwidth == 0 {
+            let stats = self.placement.repair_delta();
+            if stats.arcs_touched > 0 {
+                self.sink.record_repair(self.queue.now(), stats);
+            }
+            return;
+        }
+        if self.repair_running {
+            // A mid-convergence wobble (rounds changing with no churn)
+            // cannot dirty placement; the running drain is still valid.
+            return;
+        }
+        let backlog = self.placement.begin_repair();
+        if !self.placement.repair_pending() {
+            return; // nothing dirty: the fixpoint owes no repair
+        }
+        self.sink.repair_started(self.queue.now(), backlog);
+        self.repair_running = true;
+        self.repair_slice();
+    }
+
+    fn on_repair_tick(&mut self, epoch: u64) {
+        if epoch != self.repair_epoch || !self.repair_running {
+            return; // a tick of a plan churn already preempted
+        }
+        self.repair_slice();
+    }
+
+    /// One bounded slice: move at most `repair_bandwidth` keys, push every
+    /// transferred copy through the receiving peer's service queue (repair
+    /// occupies the same servers foreground hops do — a loaded peer makes
+    /// *both* wait), and schedule the next slice until the backlog drains.
+    ///
+    /// Deliberate simplification: a copy becomes readable at the tick
+    /// instant — the admission models the server time the transfer *costs*
+    /// (contention with foreground work), not the arrival time of the
+    /// bytes. Time-to-full-replication therefore bounds the data-layer
+    /// work, slightly optimistically on a deeply backlogged receiver.
+    fn repair_slice(&mut self) {
+        let now = self.queue.now();
+        let step = self.placement.repair_step(self.cfg.repair_bandwidth);
+        for &(peer, copies) in &step.transfers {
+            for _ in 0..copies {
+                self.service.admit(peer, now);
+            }
+        }
+        let backlog = self.placement.repair_backlog_keys();
+        self.sink.repair_tick(now, step.stats, step.rejected_copies, backlog);
+        if step.done {
+            self.repair_running = false;
+            self.sink.repair_finished(now);
+        } else {
+            self.queue.push(now + 1, SimEvent::RepairTick(self.repair_epoch));
         }
     }
 
@@ -404,7 +522,18 @@ impl TrafficSim {
             Some(via) => {
                 f.peer = via;
                 f.cursor = via;
-                let at = self.queue.now() + self.cfg.retry_backoff;
+                // Reaching the fresh entry peer is a real network hop:
+                // count it against the budget and pay one sampled hop
+                // latency on top of the backoff. (Retries used to teleport
+                // — zero hops, zero latency — making them *cheaper* per
+                // hop than first attempts and skewing p99 optimistic
+                // under churn.)
+                f.hops += 1;
+                if f.hops > self.cfg.hop_budget {
+                    return self.finish(f, OutcomeKind::Lost);
+                }
+                let lat = self.cfg.latency.sample(&mut self.rng);
+                let at = self.queue.now() + self.cfg.retry_backoff + lat;
                 self.queue.push(at, SimEvent::Hop(f));
             }
             None => self.finish(f, OutcomeKind::Lost),
@@ -551,16 +680,101 @@ mod tests {
     }
 
     #[test]
-    fn empty_network_loses_requests_gracefully() {
+    fn single_peer_network_serves_every_request_locally() {
+        // One peer is *not* an empty network: everything routes to itself
+        // and succeeds locally, losing nothing.
         let topo = rechord_topology::TopologyKind::SortedLine.generate(1, 1);
         let net = ReChordNetwork::from_topology(&topo, 1);
         let mut cfg = steady_cfg(1);
         cfg.traffic_end = 200;
-        // Single peer: everything routes to itself and succeeds locally.
         let sim = TrafficSim::new(cfg, net, &TimedChurnPlan::default());
         let report = sim.run();
         assert!(report.summary.total > 0);
         assert_eq!(report.summary.lost, 0);
+    }
+
+    #[test]
+    fn peerless_network_records_every_request_lost() {
+        // A genuinely peer-less network: `pick_entry_peer()` has nowhere to
+        // inject, so every arrival must be recorded `Lost` — never dropped
+        // silently, never panicking.
+        let topo = rechord_topology::TopologyKind::SortedLine.generate(0, 1);
+        let net = ReChordNetwork::from_topology(&topo, 1);
+        assert_eq!(net.len(), 0);
+        let mut cfg = steady_cfg(2);
+        cfg.traffic_end = 500;
+        let sim = TrafficSim::new(cfg, net, &TimedChurnPlan::default());
+        let report = sim.run();
+        assert!(report.summary.total > 0, "arrivals still fire with no peers");
+        assert_eq!(report.summary.lost, report.summary.total, "all lost: {}", report.summary);
+        assert_eq!(report.summary.availability, 0.0);
+        assert_eq!(report.final_peers, 0);
+        for o in report.sink.outcomes() {
+            assert_eq!((o.kind, o.hops, o.retries), (OutcomeKind::Lost, 0, 0));
+            assert_eq!(o.completed_at, o.issued_at, "lost at the door, instantly");
+        }
+    }
+
+    #[test]
+    fn dead_peer_hop_never_resurrects_service_backlog() {
+        // Crash semantics of the service queue: once a peer dies, its
+        // queue is forgotten, and a hop still in flight toward it must
+        // bounce off the `on_hop` knowledge-check guard *without* admitting
+        // anything (which would resurrect backlog for a ghost).
+        let mut cfg = steady_cfg(31);
+        cfg.service_time = 8;
+        let mut sim = TrafficSim::new(cfg, stable_net(8, 31), &TimedChurnPlan::default());
+        sim.preload();
+        let victim = sim.table.peers()[0];
+        sim.service.admit(victim, 0);
+        sim.service.admit(victim, 0);
+        assert!(sim.service.backlog_of(victim, 0) > 0, "victim has live backlog");
+
+        // The peer crashes: placement loses its copies, the service queue
+        // forgets it, the routing view drops it (what `on_churn` does).
+        sim.placement.apply_leave(victim, Departure::Crash);
+        sim.service.forget(victim);
+        sim.table.remove_peer(victim);
+
+        // A hop dispatched before the crash lands now.
+        let queued_before = sim.queue.len();
+        let req = Request { id: 900, op: Op::Get, key: 3, issued_at: 0 };
+        sim.on_hop(InFlight { req, peer: victim, cursor: victim, hops: 1, retries: 0 });
+        assert_eq!(sim.service.backlog_of(victim, 0), 0, "guard must not resurrect the queue");
+        assert_eq!(sim.queue.len(), queued_before + 1, "the request went to the retry path");
+    }
+
+    #[test]
+    fn retries_pay_a_hop_and_its_latency() {
+        // A retry re-enters at a fresh peer: that is a real network hop and
+        // must cost one sampled latency on top of the backoff — retried
+        // requests can never be cheaper per hop than first attempts.
+        let mut cfg = steady_cfg(33);
+        cfg.retry_backoff = 40;
+        let mut sim = TrafficSim::new(cfg, stable_net(8, 33), &TimedChurnPlan::default());
+        sim.preload();
+        let entry = sim.table.peers()[1];
+        let req = Request { id: 901, op: Op::Get, key: 5, issued_at: 0 };
+        let queued_before = sim.queue.len();
+        sim.retry(InFlight { req, peer: entry, cursor: entry, hops: 2, retries: 0 });
+        assert_eq!(sim.queue.len(), queued_before + 1);
+        // Drain to the retry hop we just queued and inspect its charge.
+        let mut found = None;
+        while let Some((at, ev)) = sim.queue.pop() {
+            if let SimEvent::Hop(f) = ev {
+                if f.req.id == 901 {
+                    found = Some((at, f));
+                    break;
+                }
+            }
+        }
+        let (at, f) = found.expect("the retry hop is in the queue");
+        assert_eq!(f.retries, 1);
+        assert_eq!(f.hops, 3, "re-entry counts as a hop");
+        assert!(
+            at > sim.cfg.retry_backoff,
+            "re-entry pays latency beyond the bare backoff (landed at {at})"
+        );
     }
 
     #[test]
@@ -616,6 +830,130 @@ mod tests {
             "incremental repair touched {max_arcs} arcs with {} peers",
             report.final_peers
         );
+    }
+
+    #[test]
+    fn infinite_bandwidth_paced_repair_matches_the_unpaced_traces() {
+        // The paced machinery with an unbounded budget must degenerate to
+        // the pre-paced model: one synchronous drain at the fixpoint, the
+        // same request outcomes bit for bit — when `service_time == 0`.
+        // With finite service capacity the paced path additionally charges
+        // the receivers for every transfer (that contention is the model),
+        // so there the modes must still agree on placement and repair
+        // totals, but request timings legitimately diverge.
+        let run = |bandwidth: usize, service_time: u64| {
+            let mut cfg = steady_cfg(9);
+            cfg.traffic_end = 16_000;
+            cfg.replication = 3;
+            cfg.repair_bandwidth = bandwidth;
+            cfg.service_time = service_time;
+            let storm = TimedChurnPlan::storm(6, 0.5, 2_000, 400, 5);
+            let mut sim = TrafficSim::new(cfg, stable_net(20, 9), &storm);
+            sim.preload();
+            sim.run()
+        };
+        let unpaced = run(0, 0);
+        let infinite = run(usize::MAX, 0);
+        assert_eq!(unpaced.sink.trace(), infinite.sink.trace(), "traces must be identical");
+        assert_eq!(unpaced.rounds, infinite.rounds, "round counts must match");
+        assert_eq!(unpaced.summary.repairs, infinite.summary.repairs);
+        assert_eq!(unpaced.summary.repair_keys_moved, infinite.summary.repair_keys_moved);
+
+        let unpaced_q = run(0, 4);
+        let infinite_q = run(usize::MAX, 4);
+        assert_eq!(unpaced_q.summary.repairs, infinite_q.summary.repairs);
+        assert_eq!(
+            unpaced_q.summary.repair_keys_moved, infinite_q.summary.repair_keys_moved,
+            "queued or not, the same keys move"
+        );
+        assert_eq!(unpaced_q.lost_keys, infinite_q.lost_keys);
+        assert_eq!(
+            unpaced_q.summary.total, infinite_q.summary.total,
+            "every request still completes under repair contention"
+        );
+    }
+
+    #[test]
+    fn throttled_repair_stretches_the_stale_window() {
+        let run = |bandwidth: usize| {
+            let mut cfg = steady_cfg(23);
+            cfg.traffic_end = 16_000;
+            cfg.replication = 2;
+            cfg.repair_bandwidth = bandwidth;
+            let storm = TimedChurnPlan::storm(6, 0.6, 2_000, 500, 11);
+            let mut sim = TrafficSim::new(cfg, stable_net(16, 23), &storm);
+            sim.preload();
+            sim.run()
+        };
+        let unpaced = run(0);
+        let paced = run(2);
+        assert_eq!(unpaced.summary.slowest_repair, 0, "unpaced repair is instantaneous");
+        let psum = &paced.summary;
+        assert!(psum.repairs > 0);
+        assert!(psum.repair_ticks > psum.repairs, "a 2-key budget needs many ticks per pass");
+        assert!(psum.slowest_repair > 0, "paced repair takes virtual time: {psum}");
+        assert!(psum.repair_backlog_peak > 0, "the backlog gauge saw outstanding keys");
+        assert!(
+            psum.stale >= unpaced.summary.stale,
+            "a longer repair window cannot shrink stale reads ({} -> {})",
+            unpaced.summary.stale,
+            psum.stale
+        );
+        // The paced run still converges: repair finished and the acked data
+        // that survived the crashes is fully re-replicated.
+        assert!(paced.stable_at_end);
+        let last = paced.sink.repairs().last().unwrap();
+        assert!(!last.preempted, "the final pass ran to completion");
+        assert_eq!(paced.sink.backlog_gauge().last().unwrap().1, 0, "backlog drained to zero");
+    }
+
+    #[test]
+    fn churn_mid_drain_preempts_the_repair_pass() {
+        // A trickle budget against a dense storm: fixpoints open passes
+        // that the next churn event interrupts mid-drain. The preempted
+        // pass is recorded as such and its remainder lands in a later pass.
+        let mut cfg = steady_cfg(29);
+        cfg.traffic_end = 20_000;
+        cfg.traffic.key_universe = 2_048; // a backlog deep enough to outlast the storm spacing
+        cfg.replication = 3;
+        cfg.round_every = 10; // fast fixpoints: passes open between storm strikes
+        cfg.repair_bandwidth = 1;
+        let storm = TimedChurnPlan::storm(10, 0.5, 2_000, 300, 17);
+        let mut sim = TrafficSim::new(cfg, stable_net(20, 29), &storm);
+        sim.preload();
+        let report = sim.run();
+        let repairs = report.sink.repairs();
+        assert!(repairs.iter().any(|r| r.preempted), "a 1-key/tick drain must get interrupted");
+        assert!(!repairs.last().unwrap().preempted, "but the last pass completes");
+        assert!(report.stable_at_end);
+        for r in repairs {
+            assert!(r.stats.keys_moved <= r.backlog_at_start, "budget accounting: {r:?}");
+            assert!(r.at >= r.started_at);
+        }
+        assert_eq!(report.sink.backlog_gauge().last().unwrap().1, 0);
+    }
+
+    #[test]
+    fn storage_cap_rejects_surplus_repair_copies() {
+        // 64 keys × replication 3 on 10 peers ≈ 19 copies per peer; a cap
+        // of 14 leaves no headroom, so post-crash re-replication must
+        // reject surplus copies — and the data stays readable at primaries.
+        let mut cfg = steady_cfg(27);
+        cfg.traffic_end = 12_000;
+        cfg.replication = 3;
+        cfg.repair_bandwidth = 8;
+        cfg.max_keys_per_peer = 14;
+        let storm = TimedChurnPlan::storm(3, 1.0, 2_000, 400, 19);
+        let mut sim = TrafficSim::new(cfg, stable_net(10, 27), &storm);
+        sim.preload();
+        let report = sim.run();
+        assert!(
+            report.summary.repair_rejected_copies > 0,
+            "an over-quota network must reject surplus repair copies: {}",
+            report.summary
+        );
+        assert!(report.stable_at_end);
+        assert_eq!(report.lost_keys, 0, "rejection never destroys surviving data");
     }
 
     #[test]

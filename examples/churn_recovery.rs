@@ -12,10 +12,7 @@ use rechord::topology::{ChurnEvent, ChurnPlan};
 
 fn main() {
     let (mut net, boot) = ReChordNetwork::bootstrap_stable(24, 7, 1, 100_000);
-    println!(
-        "bootstrapped 24 peers to a stable overlay in {} rounds",
-        boot.rounds_to_stable()
-    );
+    println!("bootstrapped 24 peers to a stable overlay in {} rounds", boot.rounds_to_stable());
 
     // An isolated join: the new peer knows exactly one existing peer.
     let joiner = hash_address(0x1001, 99);

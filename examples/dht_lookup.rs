@@ -28,13 +28,7 @@ fn main() {
 
     // Store a small catalogue from one peer...
     let via = kv.table().peers()[0];
-    let entries = [
-        (1u64, "alpha"),
-        (2, "bravo"),
-        (3, "charlie"),
-        (4, "delta"),
-        (5, "echo"),
-    ];
+    let entries = [(1u64, "alpha"), (2, "bravo"), (3, "charlie"), (4, "delta"), (5, "echo")];
     for (key, value) in entries {
         let out = kv.put(via, key, value).expect("network is nonempty");
         assert!(out.routed);
@@ -47,7 +41,10 @@ fn main() {
     for (key, expected) in entries {
         let (value, out) = kv.get(reader, key).expect("network is nonempty");
         assert_eq!(value, Some(expected));
-        println!("get  key {key} = {expected:8} from peer {} in {} hops", out.responsible, out.hops);
+        println!(
+            "get  key {key} = {expected:8} from peer {} in {} hops",
+            out.responsible, out.hops
+        );
     }
 
     // Bulk load to look at consistent hashing's balance.

@@ -92,11 +92,7 @@ fn virtual_node_positions_realize_finger_targets() {
     for e in oracle::chord_edges(&ids) {
         if let oracle::ChordEdgeKind::Finger(_) = e.kind {
             if !e.crosses_wrap() {
-                assert!(
-                    p.has_edge(e.from, e.to),
-                    "finger {:?} not realized",
-                    e
-                );
+                assert!(p.has_edge(e.from, e.to), "finger {:?} not realized", e);
             }
         }
     }

@@ -64,8 +64,7 @@ fn replica_sets_stay_identical_through_churn() {
 
     // A peer departs: rebuild the KvStore on the survivor table, delta the engine.
     let victim = table.peers()[5];
-    let survivors: Vec<Ident> =
-        table.peers().iter().copied().filter(|&p| p != victim).collect();
+    let survivors: Vec<Ident> = table.peers().iter().copied().filter(|&p| p != victim).collect();
     let mut g = rechord::graph::OverlayGraph::new();
     for &a in &survivors {
         for &b in &survivors {

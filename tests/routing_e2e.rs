@@ -42,10 +42,7 @@ fn hop_count_tracks_log_n() {
     }
     // growth from n=8 to n=105 should be ~log-ish: far below the 13x size
     // growth. Allow a loose factor.
-    assert!(
-        means[2] < means[0] * 6.0 + 6.0,
-        "hops grew too fast: {means:?}"
-    );
+    assert!(means[2] < means[0] * 6.0 + 6.0, "hops grew too fast: {means:?}");
 }
 
 #[test]

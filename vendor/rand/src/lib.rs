@@ -9,7 +9,7 @@
 
 #![forbid(unsafe_code)]
 
-use core::ops::Range;
+use core::ops::{Range, RangeInclusive};
 
 /// Low-level entropy source: everything derives from `next_u64`.
 pub trait RngCore {
@@ -84,6 +84,28 @@ macro_rules! impl_sample_range {
     )*};
 }
 impl_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                // `end - start` fits u64 even at the type's full width; the
+                // +1 that would overflow is the full-range case below.
+                let span_minus_one = (end as u64).wrapping_sub(start as u64);
+                if span_minus_one == u64::MAX {
+                    // Full-width inclusive range of a 64-bit type.
+                    return rng.next_u64() as $t;
+                }
+                let off =
+                    ((rng.next_u64() as u128 * (span_minus_one as u128 + 1)) >> 64) as u64;
+                (start as u64).wrapping_add(off) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_inclusive!(u8, u16, u32, u64, usize);
 
 /// High-level sampling helpers, blanket-implemented for every [`RngCore`].
 pub trait Rng: RngCore {
@@ -292,6 +314,25 @@ mod tests {
             let x = rng.gen_range(3usize..17);
             assert!((3..17).contains(&x));
         }
+    }
+
+    #[test]
+    fn gen_range_inclusive_covers_bounds_and_full_width() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2000 {
+            let x = rng.gen_range(5u64..=8);
+            assert!((5..=8).contains(&x));
+            lo_seen |= x == 5;
+            hi_seen |= x == 8;
+        }
+        assert!(lo_seen && hi_seen, "inclusive bounds are both reachable");
+        // Degenerate single-point range and the full 64-bit width must not
+        // overflow (the half-open form cannot express either).
+        assert_eq!(rng.gen_range(9u64..=9), 9);
+        let _ = rng.gen_range(0u64..=u64::MAX);
+        let _ = rng.gen_range(0u8..=u8::MAX);
     }
 
     #[test]
