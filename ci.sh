@@ -43,7 +43,16 @@ run cargo run --release --offline --bin traffic -- --smoke
 #     repair-backlog fields must be written.
 run cargo run --release --offline --bin sweep -- --smoke
 
-# 3d. Placement-engine scale smoke in release mode: ≥100k keys / 256 peers,
+# 3d. The byzantine fault-injection scan on its smoke grid: protocol-layer
+#     crimes (lies, rule suppression) scanned for convergence/ring
+#     boundaries, request-path crimes (drops, misroutes, poisoned reads,
+#     sybil waves, stalled heartbeats) scanned for availability floors —
+#     with built-in assertions: fraction 0 reproduces the honest traces
+#     byte-for-byte, mean availability degrades monotonically in the
+#     corrupted fraction, and nothing panics at fraction 1/2.
+run cargo run --release --offline --bin adversary -- --smoke
+
+# 3e. Placement-engine scale smoke in release mode: ≥100k keys / 256 peers,
 #     a single join/leave must repair far less than 20% of the keys, and
 #     the delta-vs-rebuild proptests must hold.
 run cargo test -q --release --offline -p rechord_placement

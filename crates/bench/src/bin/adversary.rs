@@ -1,0 +1,370 @@
+//! The edge of the self-stabilization envelope: how much byzantine mass
+//! can the six rules carry before convergence — and the service built on
+//! it — give way?
+//!
+//! Two scans share one crime catalog (`rechord_core::adversary`):
+//!
+//! * **core scan** — protocol-layer crimes (lying about successors,
+//!   suppressing individual rules) over byzantine-fraction × crime × seed:
+//!   rounds to *honest-stability* (the honest subset quiet for
+//!   `HONEST_QUIET_ROUNDS` in a row — with persistent liars the global
+//!   fixpoint may never exist) or the divergence cutoff, plus whether the
+//!   honest ring ordering survived;
+//! * **workload scan** — request-path crimes (dropped/misrouted forwards,
+//!   poisoned reads, sybil waves, stalled heartbeats) under open-loop
+//!   traffic: availability floor, corrupted-read rate, and the failure
+//!   detector's suspicion count.
+//!
+//! `--smoke` runs a small grid and *asserts* the headline contract: a
+//! fraction-0 adversary config is byte-identical to the honest simulator
+//! (same request trace), availability degrades monotonically as the
+//! corrupted fraction grows, and nothing panics even at fraction 1/2.
+//! ci.sh runs it.
+
+use rechord_bench::scenario_config;
+use rechord_core::adversary::{run_adversarial, AdversaryOutcome};
+use rechord_core::network::ReChordNetwork;
+use rechord_core::{Crime, CrimeSet};
+use rechord_topology::TimedChurnPlan;
+use rechord_workload::{AdversaryConfig, DetectorConfig, SimReport, TrafficSim};
+use std::fmt::Write as _;
+
+/// Byzantine fractions scanned, smallest to largest. 0 is the control: it
+/// must reproduce the honest runs exactly.
+const FRACTIONS: [f64; 4] = [0.0, 0.125, 0.25, 0.5];
+
+/// The protocol-layer (core scan) crime sets.
+fn core_crimes() -> Vec<(&'static str, CrimeSet)> {
+    vec![
+        ("lie-successor", CrimeSet::single(Crime::LieAboutSuccessor)),
+        ("suppress-own-rules", (2..=6).map(Crime::ViolateRule).collect()),
+        ("suppress-linearize", CrimeSet::single(Crime::ViolateRule(4))),
+        ("lie+suppress", CrimeSet::single(Crime::LieAboutSuccessor).with(Crime::ViolateRule(5))),
+    ]
+}
+
+/// The request-path (workload scan) crime sets.
+fn workload_crimes() -> Vec<(&'static str, CrimeSet)> {
+    vec![
+        ("drop-forward", CrimeSet::single(Crime::DropForward)),
+        ("misroute", CrimeSet::single(Crime::MisrouteForward)),
+        ("poison-reads", CrimeSet::single(Crime::StaleReadPoison)),
+        ("stall-heartbeats", CrimeSet::single(Crime::StallHeartbeats)),
+        ("sybil+poison", CrimeSet::single(Crime::SybilJoinWave).with(Crime::StaleReadPoison)),
+        (
+            "everything",
+            CrimeSet::single(Crime::DropForward)
+                .with(Crime::MisrouteForward)
+                .with(Crime::StaleReadPoison)
+                .with(Crime::StallHeartbeats)
+                .with(Crime::SybilJoinWave)
+                .with(Crime::LieAboutSuccessor),
+        ),
+    ]
+}
+
+struct Knobs {
+    n: usize,
+    seeds: Vec<u64>,
+    /// Core-scan round budget: honest-stability not reached by then counts
+    /// as divergence.
+    cutoff: u64,
+    horizon: u64,
+    interarrival: f64,
+}
+
+struct CoreCell {
+    crime: &'static str,
+    seed: u64,
+    out: AdversaryOutcome,
+}
+
+struct LoadCell {
+    crime: &'static str,
+    fraction: f64,
+    seed: u64,
+    requests: usize,
+    availability: f64,
+    corrupted_rate: f64,
+    lost: usize,
+    suspicions: usize,
+    stable: bool,
+    p99: u64,
+}
+
+fn run_load_cell(
+    crime: &'static str,
+    crimes: CrimeSet,
+    fraction: f64,
+    seed: u64,
+    k: &Knobs,
+) -> LoadCell {
+    let r = run_load(crimes, fraction, seed, k);
+    let total = r.summary.total.max(1);
+    LoadCell {
+        crime,
+        fraction,
+        seed,
+        requests: r.summary.total,
+        availability: r.summary.availability,
+        corrupted_rate: r.summary.corrupted as f64 / total as f64,
+        lost: r.summary.lost,
+        suspicions: r.suspicions,
+        stable: r.stable_at_end,
+        p99: r.summary.p99,
+    }
+}
+
+fn run_load(crimes: CrimeSet, fraction: f64, seed: u64, k: &Knobs) -> SimReport {
+    let (net, report) = ReChordNetwork::bootstrap_stable(k.n, seed, 1, 200_000);
+    assert!(report.converged, "seed {seed}: bootstrap must stabilize");
+    let mut cfg = scenario_config(seed, k.horizon, k.interarrival);
+    cfg.adversary = AdversaryConfig {
+        fraction,
+        crimes,
+        sybil_wave: if crimes.contains(Crime::SybilJoinWave) { 2 } else { 0 },
+        sybil_at: k.horizon / 4,
+        ..Default::default()
+    };
+    if crimes.contains(Crime::StallHeartbeats) {
+        // Give the stalled-heartbeat attack a detector worth attacking.
+        cfg.detector = DetectorConfig { suspect_for: 400, ..Default::default() };
+    }
+    let mut sim = TrafficSim::new(cfg, net, &TimedChurnPlan::default());
+    sim.preload();
+    sim.run()
+}
+
+/// The honest-control trace: the full per-request log of a run with the
+/// all-default adversary/detector knobs.
+fn honest_trace(seed: u64, k: &Knobs) -> String {
+    let (net, report) = ReChordNetwork::bootstrap_stable(k.n, seed, 1, 200_000);
+    assert!(report.converged);
+    let cfg = scenario_config(seed, k.horizon, k.interarrival);
+    let mut sim = TrafficSim::new(cfg, net, &TimedChurnPlan::default());
+    sim.preload();
+    sim.run().sink.trace()
+}
+
+/// For one crime, the smallest scanned fraction at which any seed trips
+/// `failed` (`None` = clean everywhere we looked). Used for both envelope
+/// edges: honest-stability lost (divergence) and honest ring ordering
+/// corrupted.
+fn boundary(
+    cells: &[CoreCell],
+    crime: &str,
+    failed: impl Fn(&AdversaryOutcome) -> bool,
+) -> Option<f64> {
+    FRACTIONS.iter().copied().find(|&f| {
+        cells
+            .iter()
+            .any(|c| c.crime == crime && (c.out.fraction - f).abs() < 1e-9 && failed(&c.out))
+    })
+}
+
+fn write_json(
+    path: &std::path::Path,
+    k: &Knobs,
+    core: &[CoreCell],
+    load: &[LoadCell],
+) -> std::io::Result<()> {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"peers\": {}, \"seeds\": {}, \"cutoff\": {}, \"horizon\": {}, \"fractions\": [0.0, 0.125, 0.25, 0.5]}},",
+        k.n,
+        k.seeds.len(),
+        k.cutoff,
+        k.horizon
+    );
+    out.push_str("  \"core\": [\n");
+    for (i, c) in core.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"crime\": \"{}\", \"seed\": {}, \"fraction\": {}, \"byzantine\": {}, \"converged\": {}, \"rounds\": {}, \"honest_ring_ok\": {}}}",
+            c.crime, c.seed, c.out.fraction, c.out.byzantine, c.out.converged, c.out.rounds,
+            c.out.honest_ring_ok
+        );
+        out.push_str(if i + 1 < core.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"workload\": [\n");
+    for (i, c) in load.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"crime\": \"{}\", \"seed\": {}, \"fraction\": {}, \"requests\": {}, \"availability\": {:.6}, \"corrupted_rate\": {:.6}, \"lost\": {}, \"suspicions\": {}, \"stable\": {}, \"p99\": {}}}",
+            c.crime,
+            c.seed,
+            c.fraction,
+            c.requests,
+            c.availability,
+            c.corrupted_rate,
+            c.lost,
+            c.suspicions,
+            c.stable,
+            c.p99
+        );
+        out.push_str(if i + 1 < load.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::create_dir_all(path.parent().expect("results dir has a parent or is one"))?;
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let k = if smoke {
+        Knobs { n: 16, seeds: vec![1, 2], cutoff: 20_000, horizon: 6_000, interarrival: 10.0 }
+    } else {
+        Knobs { n: 48, seeds: vec![1, 2, 3], cutoff: 100_000, horizon: 20_000, interarrival: 5.0 }
+    };
+    println!(
+        "Adversary scan: {} peers, seeds {:?}, fractions {:?}{}\n",
+        k.n,
+        k.seeds,
+        FRACTIONS,
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    // ---- core scan: convergence under protocol-layer crimes -------------
+    let mut core = Vec::new();
+    println!("core scan (rounds to honest-stability; '-' = diverged at cutoff {}):", k.cutoff);
+    println!(
+        "{:<20} {:>8} {:>6} {:>4} {:>10} {:>6}",
+        "crime", "fraction", "seed", "byz", "rounds", "ring"
+    );
+    for (name, crimes) in core_crimes() {
+        for &fraction in &FRACTIONS {
+            for &seed in &k.seeds {
+                let (out, _) = run_adversarial(k.n, seed, fraction, crimes, k.cutoff);
+                println!(
+                    "{:<20} {:>8} {:>6} {:>4} {:>10} {:>6}",
+                    name,
+                    fraction,
+                    seed,
+                    out.byzantine,
+                    if out.converged { out.rounds.to_string() } else { "-".into() },
+                    if out.honest_ring_ok { "ok" } else { "BROKEN" }
+                );
+                core.push(CoreCell { crime: name, seed, out });
+            }
+        }
+    }
+    println!("\nenvelope edges per crime (first scanned fraction that failed):");
+    for (name, _) in core_crimes() {
+        let diverge = match boundary(&core, name, |o| !o.converged) {
+            Some(f) => format!("diverges at {f}"),
+            None => "honest-stable at every fraction".into(),
+        };
+        let ring = match boundary(&core, name, |o| !o.honest_ring_ok) {
+            Some(f) => format!("honest ring breaks at {f}"),
+            None => "honest ring survives every fraction".into(),
+        };
+        println!("  {name:<20} {diverge}; {ring}");
+    }
+
+    // ---- workload scan: service quality under request-path crimes -------
+    let mut load = Vec::new();
+    println!("\nworkload scan (open-loop traffic, no organic churn):");
+    println!(
+        "{:<18} {:>8} {:>6} {:>6} {:>7} {:>9} {:>6} {:>9} {:>7}",
+        "crime", "fraction", "seed", "reqs", "avail", "corrupt", "lost", "suspects", "p99"
+    );
+    for (name, crimes) in workload_crimes() {
+        for &fraction in &FRACTIONS {
+            for &seed in &k.seeds {
+                let cell = run_load_cell(name, crimes, fraction, seed, &k);
+                println!(
+                    "{:<18} {:>8} {:>6} {:>6} {:>7.4} {:>9.4} {:>6} {:>9} {:>7}",
+                    cell.crime,
+                    cell.fraction,
+                    cell.seed,
+                    cell.requests,
+                    cell.availability,
+                    cell.corrupted_rate,
+                    cell.lost,
+                    cell.suspicions,
+                    cell.p99
+                );
+                load.push(cell);
+            }
+        }
+    }
+
+    let path = rechord_bench::results_dir().join("adversary.json");
+    write_json(&path, &k, &core, &load).expect("write adversary.json");
+    println!("\nwrote {}", path.display());
+
+    // ---- assertions: the headline contract -------------------------------
+    // (1) Fraction 0 is the honest simulator, bit for bit: declaring a
+    // crime catalog with nobody to commit it must not move a single event.
+    for &seed in &k.seeds {
+        let honest = honest_trace(seed, &k);
+        for (name, crimes) in workload_crimes() {
+            // Note stall-heartbeats arms the detector (suspect_for > 0),
+            // but with zero attackers and no false-suspicion cadence it
+            // never raises a suspicion — parity must still hold.
+            let r = run_load(crimes, 0.0, seed, &k);
+            assert_eq!(
+                r.sink.trace(),
+                honest,
+                "seed {seed}, crime {name}: fraction 0 must be trace-identical to honest"
+            );
+        }
+    }
+    println!("fraction-0 parity: all workload crime configs reproduce the honest trace");
+
+    for c in core.iter().filter(|c| c.out.fraction == 0.0) {
+        assert!(c.out.converged && c.out.honest_ring_ok, "fraction-0 core run must converge");
+    }
+
+    // (2) Monotone degradation: averaged over seeds, availability must not
+    // improve as the corrupted fraction grows, and the largest fraction
+    // must hurt measurably for the crimes that attack the request path
+    // directly.
+    for (name, _) in workload_crimes() {
+        let mean_avail: Vec<f64> = FRACTIONS
+            .iter()
+            .map(|&f| {
+                let cells: Vec<&LoadCell> = load
+                    .iter()
+                    .filter(|c| c.crime == name && (c.fraction - f).abs() < 1e-9)
+                    .collect();
+                cells.iter().map(|c| c.availability).sum::<f64>() / cells.len() as f64
+            })
+            .collect();
+        for w in mean_avail.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "{name}: availability must degrade monotonically in the corrupted fraction \
+                 (got {mean_avail:?})"
+            );
+        }
+        if name == "drop-forward" || name == "everything" {
+            assert!(
+                mean_avail[3] < mean_avail[0],
+                "{name}: half the network corrupted must hurt (got {mean_avail:?})"
+            );
+        }
+    }
+    println!("monotone degradation: mean availability never improves with corruption");
+
+    // (3) Poisoned reads surface as corruption, scaling with the fraction.
+    let poison_rate = |f: f64| {
+        load.iter()
+            .filter(|c| c.crime == "poison-reads" && (c.fraction - f).abs() < 1e-9)
+            .map(|c| c.corrupted_rate)
+            .sum::<f64>()
+    };
+    assert_eq!(poison_rate(0.0), 0.0, "no corruption without attackers");
+    assert!(poison_rate(0.5) > 0.0, "poisoning half the peers must corrupt some reads");
+
+    // (4) Nothing panicked at fraction 1/2 (reaching this line is the
+    // assertion), and every half-corrupted run still completed its scan.
+    assert!(
+        load.iter().filter(|c| (c.fraction - 0.5).abs() < 1e-9).all(|c| c.requests > 0),
+        "fraction-1/2 runs must still process traffic"
+    );
+    println!("fraction-1/2 runs complete without panic");
+
+    println!("\nadversary: all scan assertions hold");
+}

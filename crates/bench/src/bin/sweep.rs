@@ -24,9 +24,10 @@
 //! statistical harness nor the paced-repair model can silently rot.
 
 use rechord_analysis::Table;
+use rechord_bench::scenario_config;
 use rechord_core::network::ReChordNetwork;
 use rechord_topology::TimedChurnPlan;
-use rechord_workload::{LatencyModel, TrafficConfig, TrafficSim, WorkloadConfig};
+use rechord_workload::TrafficSim;
 use std::fmt::Write as _;
 
 /// Shared between the runs and the JSON config block, so the record always
@@ -75,29 +76,17 @@ struct Cell {
 fn run_cell(seed: u64, storm_events: usize, bandwidth: usize, k: &Knobs) -> Cell {
     let (net, report) = ReChordNetwork::bootstrap_stable(k.n, seed, 1, 200_000);
     assert!(report.converged, "seed {seed}: bootstrap must stabilize");
-    let cfg = WorkloadConfig {
-        seed,
-        traffic: TrafficConfig {
-            mean_interarrival: k.interarrival,
-            key_universe: KEY_UNIVERSE,
-            zipf_exponent: 0.0, // uniform reads: staleness anywhere is sampled
-            put_fraction: 0.1,
-            hot_key: None,
-        },
-        traffic_start: 0,
-        traffic_end: k.horizon,
-        round_every: 10, // fast rounds: fixpoints land between churn strikes
-        latency: LatencyModel::Uniform { lo: 5, hi: 15 },
-        replication: REPLICATION,
-        max_retries: 2,
-        retry_backoff: 40,
-        hop_budget: 128,
-        max_rounds: 200_000,
-        detection_lag: 250,
-        service_time: SERVICE_TIME,
-        repair_bandwidth: bandwidth,
-        max_keys_per_peer: 0,
-    };
+    // The shared deployment baseline, with this experiment's overrides:
+    // a bigger uniform key universe (staleness anywhere is sampled), fast
+    // rounds so fixpoints land between churn strikes, and the swept
+    // repair bandwidth.
+    let mut cfg = scenario_config(seed, k.horizon, k.interarrival);
+    cfg.traffic.key_universe = KEY_UNIVERSE;
+    cfg.traffic.zipf_exponent = 0.0;
+    cfg.round_every = 10;
+    cfg.replication = REPLICATION;
+    cfg.service_time = SERVICE_TIME;
+    cfg.repair_bandwidth = bandwidth;
     // A join-heavy storm in the middle of the run; intensity = how many
     // churn events strike. Joins are what make repair bandwidth *visible*:
     // every split arc is unreadable at its new primary until the paced

@@ -11,11 +11,10 @@
 //! subsystem cannot silently rot.
 
 use rechord_analysis::{AsciiChart, Series, Table};
+use rechord_bench::scenario_config;
 use rechord_core::network::ReChordNetwork;
 use rechord_topology::{TimedChurnPlan, TopologyKind};
-use rechord_workload::{
-    LatencyModel, OutcomeKind, SimReport, TrafficConfig, TrafficSim, WorkloadConfig,
-};
+use rechord_workload::{OutcomeKind, SimReport, TrafficSim, WorkloadConfig};
 
 struct Knobs {
     n: usize,
@@ -49,29 +48,9 @@ impl ScenarioOut {
 }
 
 fn base_config(seed: u64, k: &Knobs) -> WorkloadConfig {
-    WorkloadConfig {
-        seed,
-        traffic: TrafficConfig {
-            mean_interarrival: k.interarrival,
-            key_universe: 256,
-            zipf_exponent: 0.9,
-            put_fraction: 0.1,
-            hot_key: None,
-        },
-        traffic_start: 0,
-        traffic_end: k.horizon,
-        round_every: 50,
-        latency: LatencyModel::Uniform { lo: 5, hi: 15 },
-        replication: 2,
-        max_retries: 2,
-        retry_backoff: 40,
-        hop_budget: 128,
-        max_rounds: 100_000,
-        detection_lag: 250,
-        service_time: 2,     // finite per-peer capacity: loaded peers queue
-        repair_bandwidth: 0, // legacy scenarios: instantaneous fixpoint repair
-        max_keys_per_peer: 0,
-    }
+    // The shared deployment baseline lives in rechord_bench::scenario_config;
+    // these scenarios keep its defaults (instantaneous repair, honest peers).
+    scenario_config(seed, k.horizon, k.interarrival)
 }
 
 fn stable_net(n: usize, seed: u64) -> ReChordNetwork {

@@ -7,6 +7,7 @@
 use rechord_core::network::ReChordNetwork;
 use rechord_sim::FixpointReport;
 use rechord_topology::TopologyKind;
+use rechord_workload::{LatencyModel, TrafficConfig, WorkloadConfig};
 
 /// The paper's §5 sweep: "various numbers of (real) nodes: 5, 15, 25, 35,
 /// 45, 65, 85, 105".
@@ -38,6 +39,42 @@ pub fn stabilized_random(n: usize, seed: u64) -> (ReChordNetwork, FixpointReport
     let report = net.run_until_stable(MAX_ROUNDS);
     assert!(report.converged, "n={n} seed={seed} did not stabilize in {MAX_ROUNDS} rounds");
     (net, report)
+}
+
+/// The workload scenario baseline every traffic-driving binary starts
+/// from (traffic, sweep, adversary — previously each duplicated these
+/// knobs). One place owns the physics of the simulated deployment:
+/// 250-tick crash detection, 5–15-tick hop latency, replication 2,
+/// 2-tick per-peer service time, a 128-hop budget with 2 retries at
+/// 40-tick backoff, and a 50-tick round cadence. Binaries override the
+/// knobs their experiment varies (horizon, key universe, round tempo,
+/// repair bandwidth) and leave the rest alone.
+pub fn scenario_config(seed: u64, horizon: u64, interarrival: f64) -> WorkloadConfig {
+    WorkloadConfig {
+        seed,
+        traffic: TrafficConfig {
+            mean_interarrival: interarrival,
+            key_universe: 256,
+            zipf_exponent: 0.9,
+            put_fraction: 0.1,
+            hot_key: None,
+        },
+        traffic_start: 0,
+        traffic_end: horizon,
+        round_every: 50,
+        latency: LatencyModel::Uniform { lo: 5, hi: 15 },
+        replication: 2,
+        max_retries: 2,
+        retry_backoff: 40,
+        hop_budget: 128,
+        max_rounds: MAX_ROUNDS,
+        detection_lag: 250,
+        service_time: 2,     // finite per-peer capacity: loaded peers queue
+        repair_bandwidth: 0, // instantaneous fixpoint repair unless overridden
+        max_keys_per_peer: 0,
+        adversary: Default::default(),
+        detector: Default::default(),
+    }
 }
 
 /// Where experiment CSVs are written.

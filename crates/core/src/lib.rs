@@ -54,12 +54,15 @@
 //!   audit report;
 //! * [`projection`] — `E_ReChord = {(u,v) ∈ V_r² : ∃i (u_i,v) ∈ E_u ∪ E_r}`;
 //! * [`metrics`] — the quantities plotted in the paper's Figures 5–7;
-//! * [`churn`] — join / graceful-leave / crash drivers (§4).
+//! * [`churn`] — join / graceful-leave / crash drivers (§4);
+//! * [`adversary`] — Byzantine fault injection: the crime catalog, per-peer
+//!   behavior policies, and the honest-subset convergence harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod adversary;
 pub mod churn;
 pub mod metrics;
 pub mod msg;
@@ -72,6 +75,7 @@ pub mod rules;
 pub mod stability;
 pub mod state;
 
+pub use adversary::{AdversaryMap, Behavior, Crime, CrimeSet};
 pub use metrics::NetworkMetrics;
 pub use msg::Msg;
 pub use network::ReChordNetwork;

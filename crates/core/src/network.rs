@@ -220,6 +220,13 @@ impl ReChordNetwork {
         audit(&self.snapshot(), &self.real_ids())
     }
 
+    /// Installs per-peer behavior policies ([`crate::adversary`]); crimes
+    /// apply from the next round. An all-honest map is byte-for-byte
+    /// equivalent to no map at all.
+    pub fn set_adversary(&mut self, map: std::sync::Arc<crate::adversary::AdversaryMap>) {
+        self.engine.protocol_mut().adversary = Some(map);
+    }
+
     /// Read access to the underlying engine.
     pub fn engine(&self) -> &Engine<ReChordProtocol> {
         &self.engine

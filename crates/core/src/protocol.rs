@@ -1,10 +1,13 @@
 //! Glue: the Re-Chord rules as a [`SyncProtocol`] for the round engine.
 
+use crate::adversary::{AdversaryMap, Crime, CrimeSet};
 use crate::msg::Msg;
 use crate::rules::{self, RuleCtx};
 use crate::state::PeerState;
+use rechord_graph::NodeRef;
 use rechord_id::Ident;
 use rechord_sim::{Outbox, RoundView, SyncProtocol};
+use std::sync::Arc;
 
 /// The Re-Chord protocol: per round, each peer sanitizes its state,
 /// recomputes `m` and its neighborhoods (paper: "Before a node applies the
@@ -12,11 +15,20 @@ use rechord_sim::{Outbox, RoundView, SyncProtocol};
 /// order for all of its simulated nodes.
 ///
 /// The `mask` selects which of rules 2–6 run — [`crate::ablation`]'s
-/// experiment knob; the default is the full protocol.
-#[derive(Clone, Copy, Debug, Default)]
+/// experiment knob; the default is the full protocol. The optional
+/// `adversary` map injects per-peer protocol crimes
+/// ([`crate::adversary`]): a byzantine peer may suppress individual rules
+/// on its own state ([`Crime::ViolateRule`]) or rewrite its outgoing edge
+/// payloads to claim itself as everyone's neighbor
+/// ([`Crime::LieAboutSuccessor`]). With no map installed — or a map in
+/// which every peer is honest — the step function is byte-for-byte the
+/// legacy honest protocol.
+#[derive(Clone, Debug, Default)]
 pub struct ReChordProtocol {
     /// Which rules run (default: all).
     pub mask: crate::ablation::RuleMask,
+    /// Per-peer behavior policies (default: none — all peers honest).
+    pub adversary: Option<Arc<AdversaryMap>>,
 }
 
 impl ReChordProtocol {
@@ -27,7 +39,7 @@ impl ReChordProtocol {
 
     /// The protocol with only the rules enabled in `mask`.
     pub fn with_mask(mask: crate::ablation::RuleMask) -> Self {
-        ReChordProtocol { mask }
+        ReChordProtocol { mask, adversary: None }
     }
 }
 
@@ -98,6 +110,43 @@ fn validate_references(me: Ident, state: &mut PeerState, view: &RoundView<'_, Pe
     }
 }
 
+impl ReChordProtocol {
+    /// The shared rule pipeline. `crimes` suppresses individual rules on
+    /// this peer only ([`Crime::ViolateRule`]); the empty set is the honest
+    /// path and computes exactly what the pre-adversary protocol did.
+    fn run_rules(
+        &self,
+        me: Ident,
+        state: &mut PeerState,
+        view: &RoundView<'_, PeerState>,
+        out: &mut Outbox<Msg>,
+        crimes: CrimeSet,
+    ) {
+        state.sanitize(me);
+        validate_references(me, state, view);
+        let m = state.compute_m(me);
+        let mut ctx = RuleCtx { me, state, view, out };
+        if !crimes.contains(Crime::ViolateRule(1)) {
+            rules::virtual_nodes::apply(&mut ctx, m); // rule 1 (no global ablation)
+        }
+        if self.mask.overlap && !crimes.contains(Crime::ViolateRule(2)) {
+            rules::overlap::apply(&mut ctx); //      rule 2
+        }
+        if self.mask.closest_real && !crimes.contains(Crime::ViolateRule(3)) {
+            rules::closest_real::apply(&mut ctx); // rule 3
+        }
+        if self.mask.linearize && !crimes.contains(Crime::ViolateRule(4)) {
+            rules::linearize::apply(&mut ctx); //    rule 4
+        }
+        if self.mask.ring && !crimes.contains(Crime::ViolateRule(5)) {
+            rules::ring::apply(&mut ctx); //         rule 5
+        }
+        if self.mask.connection && !crimes.contains(Crime::ViolateRule(6)) {
+            rules::connection::apply(&mut ctx); //   rule 6
+        }
+    }
+}
+
 impl SyncProtocol for ReChordProtocol {
     type State = PeerState;
     type Msg = Msg;
@@ -109,25 +158,25 @@ impl SyncProtocol for ReChordProtocol {
         view: &RoundView<'_, PeerState>,
         out: &mut Outbox<Msg>,
     ) {
-        state.sanitize(me);
-        validate_references(me, state, view);
-        let m = state.compute_m(me);
-        let mut ctx = RuleCtx { me, state, view, out };
-        rules::virtual_nodes::apply(&mut ctx, m); // rule 1 (always on)
-        if self.mask.overlap {
-            rules::overlap::apply(&mut ctx); //      rule 2
-        }
-        if self.mask.closest_real {
-            rules::closest_real::apply(&mut ctx); // rule 3
-        }
-        if self.mask.linearize {
-            rules::linearize::apply(&mut ctx); //    rule 4
-        }
-        if self.mask.ring {
-            rules::ring::apply(&mut ctx); //         rule 5
-        }
-        if self.mask.connection {
-            rules::connection::apply(&mut ctx); //   rule 6
+        let crimes = self.adversary.as_ref().map_or(CrimeSet::EMPTY, |a| a.crimes_of(me));
+        if crimes.contains(Crime::LieAboutSuccessor) {
+            // Run the rules into a scratch outbox, then rewrite every
+            // outgoing introduction: whatever neighbor the rules meant to
+            // hand out, the liar claims *itself* instead. Messages to its
+            // own siblings stay truthful (lying to yourself gains nothing);
+            // a receiver that IS the claimed node discards the self-edge on
+            // apply, so the lie spreads `real(liar)` everywhere else.
+            let mut scratch = Outbox::new();
+            self.run_rules(me, state, view, &mut scratch, crimes);
+            let lie = NodeRef::real(me);
+            for (to, mut msg) in scratch.into_inner() {
+                if to != me {
+                    msg.edge = lie;
+                }
+                out.send(to, msg);
+            }
+        } else {
+            self.run_rules(me, state, view, out, crimes);
         }
     }
 

@@ -94,6 +94,13 @@ impl<P: SyncProtocol> Engine<P> {
         &self.protocol
     }
 
+    /// Mutable access to the protocol instance — for drivers that
+    /// reconfigure protocol-level knobs (rule masks, adversary policies)
+    /// between rounds. Changes apply from the next round.
+    pub fn protocol_mut(&mut self) -> &mut P {
+        &mut self.protocol
+    }
+
     /// Adds a peer. Returns `false` (and leaves the engine unchanged) if the
     /// identifier is already present.
     pub fn insert_node(&mut self, id: Ident, state: P::State) -> bool {

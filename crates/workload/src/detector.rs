@@ -1,0 +1,170 @@
+//! Per-peer failure detection with false suspicions.
+//!
+//! The legacy model was one global constant: every crash becomes visible to
+//! every survivor exactly `detection_lag` ticks later, and the detector
+//! never errs. Real failure detectors are neither uniform nor accurate —
+//! they time out different peers at different moments and sometimes
+//! suspect peers that are merely slow. [`FailureDetector`] models both
+//! imperfections deterministically:
+//!
+//! * **per-peer lag**: a crash of `v` is detected at
+//!   `detection_lag + mix(seed, v) % (lag_jitter + 1)` — each victim has
+//!   its own timeout;
+//! * **false suspicions**: on a configurable cadence the detector wrongly
+//!   suspects a live peer for `suspect_for` ticks; requests bounce off
+//!   suspected peers (entry points avoid them, hops landing on them
+//!   retry) even though the peer is perfectly healthy — the availability
+//!   tax of an over-eager detector. The adversary can weaponize this via
+//!   `Crime::StallHeartbeats`: a byzantine peer starves its clockwise
+//!   neighbor's heartbeats so the *victim* gets suspected every cadence.
+//!
+//! All randomness is the pure `mix` hash, so detector behavior never
+//! perturbs the simulation's RNG streams: the all-zero [`DetectorConfig`]
+//! is bit-identical to the legacy global-lag model.
+
+use rechord_core::adversary::mix;
+use rechord_id::Ident;
+use std::collections::BTreeMap;
+
+/// Failure-detector knobs. All-zero (the default) reproduces the legacy
+/// behavior: uniform lag, no false suspicions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// Per-victim jitter added to the base detection lag: crash detection
+    /// fires at `base + mix(seed, victim) % (lag_jitter + 1)`. `0` keeps
+    /// the uniform global lag.
+    pub lag_jitter: u64,
+    /// Every this many ticks the detector falsely suspects one live peer
+    /// (`0` = the detector never errs on its own; heartbeat-stalling
+    /// attackers still fire on the `detection_lag` cadence).
+    pub false_suspect_every: u64,
+    /// Ticks a suspicion lasts before it clears. `0` makes suspicions
+    /// no-ops (the legacy accurate detector).
+    pub suspect_for: u64,
+}
+
+/// One entry of the suspect/clear timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SuspicionEvent {
+    /// Instant the suspicion was raised.
+    pub at: u64,
+    /// The suspected (live) peer.
+    pub peer: Ident,
+    /// Instant the suspicion clears.
+    pub until: u64,
+}
+
+/// The per-peer failure detector: suspicion state plus the deterministic
+/// per-victim crash lag (see module docs).
+#[derive(Clone, Debug)]
+pub struct FailureDetector {
+    cfg: DetectorConfig,
+    seed: u64,
+    /// Currently suspected peers → instant the suspicion clears.
+    suspected: BTreeMap<Ident, u64>,
+    timeline: Vec<SuspicionEvent>,
+}
+
+impl FailureDetector {
+    /// A detector with no active suspicions.
+    pub fn new(cfg: DetectorConfig, seed: u64) -> Self {
+        FailureDetector { cfg, seed, suspected: BTreeMap::new(), timeline: Vec::new() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> DetectorConfig {
+        self.cfg
+    }
+
+    /// Ticks after `victim`'s crash until survivors scrub their views: the
+    /// base lag plus this victim's deterministic jitter.
+    pub fn crash_lag(&self, victim: Ident, base: u64) -> u64 {
+        if self.cfg.lag_jitter == 0 {
+            base
+        } else {
+            base + mix(&[self.seed, 0xde7e_c701, victim.raw()]) % (self.cfg.lag_jitter + 1)
+        }
+    }
+
+    /// Suspects `peer` from `now` for the configured duration (extending an
+    /// existing suspicion, never shortening it). A zero `suspect_for` is a
+    /// no-op.
+    pub fn suspect(&mut self, peer: Ident, now: u64) {
+        let until = now + self.cfg.suspect_for;
+        if until <= now {
+            return;
+        }
+        let entry = self.suspected.entry(peer).or_insert(0);
+        *entry = (*entry).max(until);
+        self.timeline.push(SuspicionEvent { at: now, peer, until });
+    }
+
+    /// Is `peer` under suspicion at `now`?
+    pub fn is_suspected(&self, peer: Ident, now: u64) -> bool {
+        self.suspected.get(&peer).is_some_and(|&until| until > now)
+    }
+
+    /// Is *anyone* under suspicion at `now`? (The fast-path gate: honest
+    /// legacy runs never pay for per-peer checks.)
+    pub fn has_active(&self, now: u64) -> bool {
+        self.suspected.values().any(|&until| until > now)
+    }
+
+    /// Drops suspicions that have cleared by `now`.
+    pub fn prune(&mut self, now: u64) {
+        self.suspected.retain(|_, &mut until| until > now);
+    }
+
+    /// The full suspect/clear timeline, in raise order.
+    pub fn timeline(&self) -> &[SuspicionEvent] {
+        &self.timeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_config_is_the_legacy_detector() {
+        let mut d = FailureDetector::new(DetectorConfig::default(), 7);
+        let v = Ident::from_raw(42);
+        assert_eq!(d.crash_lag(v, 250), 250, "no jitter: the global constant");
+        d.suspect(v, 100);
+        assert!(!d.is_suspected(v, 100), "suspect_for 0 never suspects");
+        assert!(!d.has_active(0));
+        assert!(d.timeline().is_empty());
+    }
+
+    #[test]
+    fn jittered_lag_is_deterministic_and_bounded() {
+        let cfg = DetectorConfig { lag_jitter: 100, ..Default::default() };
+        let d = FailureDetector::new(cfg, 9);
+        let lags: Vec<u64> =
+            (0..50).map(|k| d.crash_lag(Ident::from_raw(k * 7 + 1), 250)).collect();
+        assert!(lags.iter().all(|&l| (250..=350).contains(&l)));
+        assert!(lags.windows(2).any(|w| w[0] != w[1]), "per-victim lags differ");
+        let d2 = FailureDetector::new(cfg, 9);
+        assert_eq!(lags[3], d2.crash_lag(Ident::from_raw(22), 250));
+    }
+
+    #[test]
+    fn suspicions_raise_extend_and_clear() {
+        let cfg = DetectorConfig { suspect_for: 50, ..Default::default() };
+        let mut d = FailureDetector::new(cfg, 1);
+        let v = Ident::from_raw(5);
+        d.suspect(v, 100);
+        assert!(d.is_suspected(v, 100));
+        assert!(d.is_suspected(v, 149));
+        assert!(!d.is_suspected(v, 150), "clears at now + suspect_for");
+        assert!(d.has_active(120));
+        assert!(!d.has_active(200));
+        // Re-suspecting extends; it never shortens.
+        d.suspect(v, 140);
+        assert!(d.is_suspected(v, 170));
+        d.prune(1_000);
+        assert!(!d.has_active(0) || d.timeline().len() == 2);
+        assert_eq!(d.timeline().len(), 2, "every raise is on the timeline");
+        assert_eq!(d.timeline()[0], SuspicionEvent { at: 100, peer: v, until: 150 });
+    }
+}

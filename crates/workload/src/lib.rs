@@ -30,7 +30,18 @@
 //!   repair lag an instantaneous model would hide;
 //! * [`SloSink`] — p50/p90/p99 virtual latency, availability, throughput,
 //!   windowed timelines, and the repair timeline ([`RepairEvent`]: pass
-//!   start/end, time-to-full-replication, per-tick backlog gauge).
+//!   start/end, time-to-full-replication, per-tick backlog gauge);
+//! * **fault injection** — [`AdversaryConfig`] corrupts a seeded fraction
+//!   of peers with a typed crime set (drop/misroute forwards, poison
+//!   reads, sybil join waves, stalled heartbeats — see
+//!   `rechord_core::adversary`); the same behavior map drives protocol
+//!   rounds *and* the request lifecycle, and poisoned answers surface as
+//!   [`OutcomeKind::Corrupted`];
+//! * [`FailureDetector`] — per-peer crash-detection lag with false
+//!   suspicions: requests bounce off live-but-suspected peers, and the
+//!   suspect/clear timeline is reported per run. The all-zero
+//!   [`DetectorConfig`] reproduces the legacy global `detection_lag`
+//!   constant bit-for-bit.
 //!
 //! ```
 //! use rechord_core::network::ReChordNetwork;
@@ -50,12 +61,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversary;
+mod detector;
 mod event;
 mod generator;
 mod latency;
 mod metrics;
 mod sim;
 
+pub use adversary::AdversaryConfig;
+pub use detector::{DetectorConfig, FailureDetector, SuspicionEvent};
 pub use event::EventQueue;
 pub use generator::{Op, Request, TrafficConfig, TrafficGen};
 pub use latency::{LatencyModel, ServiceQueue};

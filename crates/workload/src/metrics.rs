@@ -51,6 +51,13 @@ pub enum OutcomeKind {
     /// Routed, but an acknowledged value was not found at any replica — the
     /// data was lost or has not yet been repaired onto the new replica set.
     StaleRead,
+    /// Routed and answered — but by a poisoning replica
+    /// (`rechord_core::adversary::Crime::StaleReadPoison`): the client got
+    /// a deleted/stale copy served as fresh. Worse than [`Lost`]: the
+    /// client cannot tell.
+    ///
+    /// [`Lost`]: OutcomeKind::Lost
+    Corrupted,
     /// Dropped after exhausting retries (routing stuck mid-stabilization,
     /// or the resident peer crashed too often).
     Lost,
@@ -62,6 +69,7 @@ impl OutcomeKind {
         match self {
             OutcomeKind::Success => "ok",
             OutcomeKind::StaleRead => "stale",
+            OutcomeKind::Corrupted => "corrupt",
             OutcomeKind::Lost => "lost",
         }
     }
@@ -104,6 +112,8 @@ pub struct SloSummary {
     pub success: usize,
     /// Stale reads.
     pub stale: usize,
+    /// Reads answered by a poisoning replica ([`OutcomeKind::Corrupted`]).
+    pub corrupted: usize,
     /// Lost requests.
     pub lost: usize,
     /// Median latency of successful requests (virtual ticks).
@@ -146,11 +156,12 @@ impl fmt::Display for SloSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} reqs | avail {:.4} ({} ok / {} stale / {} lost) | latency p50/p90/p99/max {}/{}/{}/{} | {:.2} hops | {:.1} req/ktick | {} repairs ({} keys moved, {} arcs) | backlog peak {} / slowest repair {}t",
+            "{} reqs | avail {:.4} ({} ok / {} stale / {} corrupt / {} lost) | latency p50/p90/p99/max {}/{}/{}/{} | {:.2} hops | {:.1} req/ktick | {} repairs ({} keys moved, {} arcs) | backlog peak {} / slowest repair {}t",
             self.total,
             self.availability,
             self.success,
             self.stale,
+            self.corrupted,
             self.lost,
             self.p50,
             self.p90,
@@ -339,6 +350,7 @@ impl SloSink {
         let total = self.outcomes.len();
         let success = self.count(OutcomeKind::Success);
         let stale = self.count(OutcomeKind::StaleRead);
+        let corrupted = self.count(OutcomeKind::Corrupted);
         let lost = self.count(OutcomeKind::Lost);
         let mut lat: Vec<u64> = self
             .outcomes
@@ -362,6 +374,7 @@ impl SloSink {
             total,
             success,
             stale,
+            corrupted,
             lost,
             p50: percentile(&lat, 0.50),
             p90: percentile(&lat, 0.90),
@@ -499,6 +512,22 @@ mod tests {
         assert_eq!(sum.max_latency, 107);
         assert!(sum.p99 >= sum.p90 && sum.p90 >= sum.p50);
         assert_eq!(sum.mean_hops, 3.0);
+    }
+
+    #[test]
+    fn corrupted_reads_count_against_availability() {
+        let mut s = SloSink::new();
+        for k in 0..8 {
+            s.record(outcome(k, 0, 10, OutcomeKind::Success));
+        }
+        s.record(outcome(8, 0, 10, OutcomeKind::Corrupted));
+        s.record(outcome(9, 0, 10, OutcomeKind::Corrupted));
+        let sum = s.summary();
+        assert_eq!(sum.corrupted, 2);
+        assert_eq!(sum.availability, 0.8, "a poisoned answer is not a success");
+        let text = format!("{sum}");
+        assert!(text.contains("2 corrupt"), "{text}");
+        assert!(s.trace().contains("8 get 8 0 10 3 0 corrupt\n"));
     }
 
     #[test]

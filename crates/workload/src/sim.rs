@@ -32,18 +32,22 @@
 //! start/end instants, per-tick backlog gauge, time-to-full-replication,
 //! capacity-cap rejections — is recorded in the [`SloSink`].
 
+use crate::adversary::AdversaryConfig;
+use crate::detector::{DetectorConfig, FailureDetector};
 use crate::event::EventQueue;
 use crate::generator::{Op, Request, TrafficConfig, TrafficGen};
 use crate::latency::{LatencyModel, ServiceQueue};
 use crate::metrics::{OutcomeKind, RequestOutcome, SloSink, SloSummary};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rechord_core::adversary::{chance, mix, AdversaryMap, Behavior, Crime};
 use rechord_core::network::ReChordNetwork;
 use rechord_id::{IdSpace, Ident};
 use rechord_placement::{Departure, PlacementMap};
 use rechord_routing::{route_step, HopDecision, RoutingTable};
 use rechord_topology::{ChurnEvent, TimedChurnPlan};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Everything that parameterizes a workload run (traffic shape aside, see
 /// [`TrafficConfig`]).
@@ -98,6 +102,12 @@ pub struct WorkloadConfig {
     /// instantaneous model (`repair_bandwidth: 0`) is the uncapped legacy
     /// oracle — the cap is ignored there.
     pub max_keys_per_peer: usize,
+    /// Byzantine/flaky behavior injection ([`AdversaryConfig`]). The
+    /// default is fully honest and reproduces legacy traces bit-for-bit.
+    pub adversary: AdversaryConfig,
+    /// Per-peer failure-detector knobs ([`DetectorConfig`]). The default
+    /// (all zero) is the legacy uniform-lag, never-erring detector.
+    pub detector: DetectorConfig,
 }
 
 impl Default for WorkloadConfig {
@@ -118,6 +128,8 @@ impl Default for WorkloadConfig {
             service_time: 0,
             repair_bandwidth: 0,
             max_keys_per_peer: 0,
+            adversary: AdversaryConfig::default(),
+            detector: DetectorConfig::default(),
         }
     }
 }
@@ -138,6 +150,9 @@ pub struct SimReport {
     /// Acknowledged keys with no surviving copy anywhere (every replica
     /// crashed before a repair could run).
     pub lost_keys: usize,
+    /// Suspicions the failure detector raised (false positives plus
+    /// heartbeat-stalling attacks; 0 under the legacy accurate detector).
+    pub suspicions: usize,
 }
 
 enum SimEvent {
@@ -154,8 +169,20 @@ enum SimEvent {
     Churn(ChurnEvent),
     /// Reconfigure the generator's hot key (flash crowds).
     SetHotKey(Option<(u64, f64)>),
-    /// The failure detector fires: scrub the routing view of ghosts.
-    RefreshTable,
+    /// The failure detector concludes the named peer's crash: scrub the
+    /// routing view of ghosts — unless the peer rejoined in the meantime,
+    /// in which case the detection is stale and must be ignored.
+    DetectCrash(Ident),
+    /// The failure detector's suspicion cadence (false positives and
+    /// heartbeat-stalling attacks). Carries the tick ordinal.
+    DetectorTick(u64),
+    /// One sybil identity joins via its sponsoring attacker.
+    SybilJoin {
+        /// The byzantine peer sponsoring the join.
+        attacker: Ident,
+        /// The fresh identity being injected.
+        sybil: Ident,
+    },
     /// One paced anti-entropy slice: move at most `repair_bandwidth` keys.
     /// The epoch stamps which repair plan the tick belongs to — churn bumps
     /// the epoch, so ticks of a preempted plan land as no-ops.
@@ -197,13 +224,19 @@ pub struct TrafficSim {
     /// drain is in progress.
     repair_epoch: u64,
     repair_running: bool,
+    /// Per-peer behavior policies, shared with the protocol layer. An
+    /// all-honest map takes every fast path and the run is bit-identical
+    /// to the pre-adversary simulator.
+    adversary: Arc<AdversaryMap>,
+    /// Per-peer failure detection (suspicions, jittered crash lags).
+    detector: FailureDetector,
 }
 
 impl TrafficSim {
     /// Builds a simulator over `net` (in whatever state it is in — stable or
     /// mid-recovery) with `churn` laid onto the clock. Traffic and rounds
     /// are scheduled per `cfg`.
-    pub fn new(cfg: WorkloadConfig, net: ReChordNetwork, churn: &TimedChurnPlan) -> Self {
+    pub fn new(cfg: WorkloadConfig, mut net: ReChordNetwork, churn: &TimedChurnPlan) -> Self {
         let mut table = RoutingTable::default();
         table.refresh_from_network(&net);
         let mut queue = EventQueue::new();
@@ -216,6 +249,24 @@ impl TrafficSim {
         queue.push(cfg.round_every.max(1), SimEvent::Round);
         let mut placement = PlacementMap::from_peers(table.peers(), cfg.replication);
         placement.set_peer_capacity(cfg.max_keys_per_peer);
+        // Freeze the behavior map and install it into the protocol layer.
+        // An all-honest map is not installed at all — the protocol keeps
+        // its `adversary: None` fast path and legacy runs stay untouched.
+        let (adversary, sybils) = cfg.adversary.build(table.peers(), cfg.seed);
+        let adversary = Arc::new(adversary);
+        if !adversary.is_all_honest() {
+            net.set_adversary(Arc::clone(&adversary));
+        }
+        for &(attacker, sybil) in &sybils {
+            queue.push(cfg.adversary.sybil_at, SimEvent::SybilJoin { attacker, sybil });
+        }
+        let detector = FailureDetector::new(cfg.detector, cfg.seed);
+        if cfg.detector.suspect_for > 0
+            && (cfg.detector.false_suspect_every > 0
+                || adversary.any_commits(Crime::StallHeartbeats))
+        {
+            queue.push(Self::detector_period(&cfg), SimEvent::DetectorTick(1));
+        }
         TrafficSim {
             space: IdSpace::new(cfg.seed),
             gen: TrafficGen::new(cfg.traffic, cfg.seed),
@@ -235,6 +286,19 @@ impl TrafficSim {
             was_stable: false,
             repair_epoch: 0,
             repair_running: false,
+            adversary,
+            detector,
+        }
+    }
+
+    /// Ticks between [`SimEvent::DetectorTick`]s: the configured false-
+    /// suspicion cadence, or the detection lag when only heartbeat
+    /// stalling drives the detector.
+    fn detector_period(cfg: &WorkloadConfig) -> u64 {
+        if cfg.detector.false_suspect_every > 0 {
+            cfg.detector.false_suspect_every
+        } else {
+            cfg.detection_lag.max(1)
         }
     }
 
@@ -265,7 +329,9 @@ impl TrafficSim {
                 SimEvent::Round => self.on_round(),
                 SimEvent::Churn(e) => self.on_churn(e),
                 SimEvent::SetHotKey(h) => self.gen.set_hot_key(h),
-                SimEvent::RefreshTable => self.table.refresh_from_network(&self.net),
+                SimEvent::DetectCrash(victim) => self.on_detect_crash(victim),
+                SimEvent::DetectorTick(k) => self.on_detector_tick(k),
+                SimEvent::SybilJoin { attacker, sybil } => self.on_sybil_join(attacker, sybil),
                 SimEvent::RepairTick(epoch) => self.on_repair_tick(epoch),
             }
         }
@@ -281,6 +347,7 @@ impl TrafficSim {
             stable_at_end: self.was_stable,
             final_peers: self.net.len(),
             lost_keys,
+            suspicions: self.detector.timeline().len(),
         }
     }
 
@@ -314,7 +381,18 @@ impl TrafficSim {
 
     fn on_round(&mut self) {
         self.round_scheduled = false;
-        let (out, dirty) = self.net.round_dirty();
+        let (out, dirty) = if self.adversary.has_flaky() {
+            // Flaky peers sit out this round with their drop probability —
+            // a deterministic coin per (peer, round), so reruns agree.
+            let map = Arc::clone(&self.adversary);
+            let k = self.rounds_run;
+            self.net.engine_mut().round_dirty_with_schedule(move |id| match map.behavior_of(id) {
+                Behavior::Flaky(p) => !chance(&[map.seed(), 0xf1a2_2221, k, id.raw()], p),
+                _ => true,
+            })
+        } else {
+            self.net.round_dirty()
+        };
         self.rounds_run += 1;
         self.table.refresh_dirty(&self.net, &dirty);
         if out.changed {
@@ -379,11 +457,80 @@ impl TrafficSim {
                     self.placement.apply_leave(peer, Departure::Crash);
                     self.service.forget(peer);
                     self.table.remove_peer(peer);
-                    let at = self.queue.now() + self.cfg.detection_lag;
-                    self.queue.push(at, SimEvent::RefreshTable);
+                    let lag = self.detector.crash_lag(peer, self.cfg.detection_lag);
+                    self.queue.push(self.queue.now() + lag, SimEvent::DetectCrash(peer));
                 }
             }
         }
+        self.was_stable = false;
+        if !self.round_scheduled && self.rounds_run < self.cfg.max_rounds {
+            self.schedule_round();
+        }
+    }
+
+    // ---- failure detection & adversary events -----------------------------
+
+    /// The detector concludes a crash `detection_lag (+ jitter)` after the
+    /// fact. A peer that *rejoined under the same identity* before the
+    /// event fired is alive — the detection is stale and must be ignored,
+    /// not scrub the live peer's view entries.
+    fn on_detect_crash(&mut self, victim: Ident) {
+        if self.net.engine().contains(victim) {
+            return; // rejoined before detection: cancelled
+        }
+        self.table.refresh_from_network(&self.net);
+    }
+
+    /// The suspicion cadence: the detector's own false positives plus
+    /// heartbeat-stalling attackers framing their clockwise neighbors.
+    fn on_detector_tick(&mut self, k: u64) {
+        let now = self.queue.now();
+        self.detector.prune(now);
+        let peers = self.table.peers().to_vec();
+        if !peers.is_empty() {
+            if self.cfg.detector.false_suspect_every > 0 {
+                let idx =
+                    (mix(&[self.adversary.seed(), 0xfa15_e000, k]) % peers.len() as u64) as usize;
+                self.detector.suspect(peers[idx], now);
+            }
+            for attacker in self.adversary.byzantine_peers() {
+                if !self.adversary.commits(attacker, Crime::StallHeartbeats)
+                    || self.table.knowledge_of(attacker).is_none()
+                {
+                    continue;
+                }
+                // The victim is the attacker's clockwise successor: the
+                // peer whose heartbeats it relays — and starves.
+                let idx = match peers.binary_search(&attacker) {
+                    Ok(i) => (i + 1) % peers.len(),
+                    Err(i) => i % peers.len(),
+                };
+                if peers[idx] != attacker {
+                    self.detector.suspect(peers[idx], now);
+                }
+            }
+        }
+        let period = Self::detector_period(&self.cfg);
+        if now + period <= self.cfg.traffic_end {
+            self.queue.push(now + period, SimEvent::DetectorTick(k + 1));
+        }
+    }
+
+    /// One sybil identity joins through its sponsoring attacker. The wave
+    /// needs its sponsor alive; a crashed attacker injects nothing.
+    fn on_sybil_join(&mut self, attacker: Ident, sybil: Ident) {
+        if !self.net.join_via(sybil, attacker) {
+            return;
+        }
+        if self.repair_running {
+            // Same as organic churn: the join splits an arc and
+            // invalidates the repair plan mid-drain.
+            self.repair_running = false;
+            self.repair_epoch += 1;
+            self.sink.repair_preempted(self.queue.now());
+        }
+        self.table.refresh_peer(&self.net, sybil);
+        self.placement.apply_join(sybil);
         self.was_stable = false;
         if !self.round_scheduled && self.rounds_run < self.cfg.max_rounds {
             self.schedule_round();
@@ -473,6 +620,12 @@ impl TrafficSim {
             // be resurrected) — bounce straight to the retry path.
             return self.retry(f);
         }
+        if self.detector.is_suspected(f.peer, self.queue.now()) {
+            // Live but suspected: the sender treats the silence as a crash
+            // and re-enters elsewhere — the availability tax a false
+            // suspicion (or a stalled heartbeat) levies on a healthy peer.
+            return self.retry(f);
+        }
         let now = self.queue.now();
         let served_at = self.service.admit(f.peer, now);
         if served_at > now {
@@ -495,15 +648,53 @@ impl TrafficSim {
             match route_step(&self.table, f.peer, f.cursor, key_pos) {
                 HopDecision::Arrived => return self.complete(f, key_pos),
                 HopDecision::Next { peer, cursor } => {
-                    f.cursor = cursor;
                     if peer == f.peer {
+                        f.cursor = cursor;
                         continue; // local step through its own virtual nodes
                     }
+                    // The *forwarder* (the current resident peer) decides
+                    // the hop's fate before the honest greedy choice ships.
+                    let mut next = peer;
+                    let mut next_cursor = cursor;
+                    if !self.adversary.is_all_honest() {
+                        match self.adversary.behavior_of(f.peer) {
+                            Behavior::Byzantine(crimes) => {
+                                if crimes.contains(Crime::DropForward) {
+                                    // Silent drop: the client times out and
+                                    // pays the full retry price.
+                                    return self.retry(f);
+                                }
+                                if crimes.contains(Crime::MisrouteForward) {
+                                    if let Some(worst) = self.worst_forward(f.peer, key_pos) {
+                                        // Ship the request to the worst
+                                        // known peer without advancing the
+                                        // route cursor: a hop is burned and
+                                        // no logical progress is made.
+                                        next = worst;
+                                        next_cursor = f.cursor;
+                                    }
+                                }
+                            }
+                            Behavior::Flaky(p) => {
+                                let coin = [
+                                    self.adversary.seed(),
+                                    0xd201_f0f0,
+                                    f.req.id,
+                                    u64::from(f.hops),
+                                ];
+                                if chance(&coin, p) {
+                                    return self.retry(f);
+                                }
+                            }
+                            Behavior::Honest => {}
+                        }
+                    }
+                    f.cursor = next_cursor;
                     f.hops += 1;
                     if f.hops > self.cfg.hop_budget {
                         return self.retry(f);
                     }
-                    f.peer = peer;
+                    f.peer = next;
                     let lat = self.cfg.latency.sample(&mut self.rng);
                     let arrival = self.queue.now() + lat;
                     return self.queue.push(arrival, SimEvent::Hop(f));
@@ -549,17 +740,29 @@ impl TrafficSim {
             }
             Op::Get => {
                 let probe = self.placement.lookup(key_pos, f.req.key);
-                let kind = match probe.hit {
-                    Some((probes, _)) => {
-                        f.hops += probes as u32; // each successor probe is a hop
-                        OutcomeKind::Success
-                    }
-                    None if self.acked.contains(&f.req.key) => {
-                        f.hops += (probe.replicas as u32).saturating_sub(1);
-                        OutcomeKind::StaleRead
-                    }
-                    None => OutcomeKind::Success, // clean empty read: key never written
-                };
+                let kind =
+                    match probe.hit {
+                        Some((probes, _)) => {
+                            f.hops += probes as u32; // each successor probe is a hop
+                            if !self.adversary.is_all_honest()
+                                && self.placement.replica_set(key_pos).get(probes).is_some_and(
+                                    |&s| self.adversary.commits(s, Crime::StaleReadPoison),
+                                )
+                            {
+                                // The replica that answered holds the value but
+                                // serves a deliberately stale copy: the client
+                                // gets an answer — just the wrong one.
+                                OutcomeKind::Corrupted
+                            } else {
+                                OutcomeKind::Success
+                            }
+                        }
+                        None if self.acked.contains(&f.req.key) => {
+                            f.hops += (probe.replicas as u32).saturating_sub(1);
+                            OutcomeKind::StaleRead
+                        }
+                        None => OutcomeKind::Success, // clean empty read: key never written
+                    };
                 self.finish(f, kind);
             }
         }
@@ -587,7 +790,32 @@ impl TrafficSim {
         if peers.is_empty() {
             return None;
         }
+        let now = self.queue.now();
+        if self.detector.has_active(now) {
+            // Clients avoid suspected entry points. Drawing over the
+            // *filtered* list (rather than rejection-sampling the full one)
+            // keeps the RNG stream honest-parity safe: this branch is never
+            // taken when no suspicion is active.
+            let clear: Vec<Ident> =
+                peers.iter().copied().filter(|&p| !self.detector.is_suspected(p, now)).collect();
+            if !clear.is_empty() {
+                return Some(clear[self.rng.gen_range(0..clear.len())]);
+            }
+        }
         Some(peers[self.rng.gen_range(0..peers.len())])
+    }
+
+    /// The misrouter's pick: among everything `from` knows, the live peer
+    /// from which `key_pos` is *farthest* clockwise — maximal anti-progress
+    /// while still shipping to a real, reachable peer (ties broken by
+    /// ident so the crime is deterministic).
+    fn worst_forward(&self, from: Ident, key_pos: Ident) -> Option<Ident> {
+        let known = self.table.knowledge_of(from)?;
+        known
+            .iter()
+            .map(|r| r.owner)
+            .filter(|&p| p != from && self.table.knowledge_of(p).is_some())
+            .max_by_key(|&p| (p.dist_cw(key_pos), p))
     }
 
     fn schedule_round(&mut self) {
@@ -974,5 +1202,137 @@ mod tests {
             .collect();
         let hot = mid.iter().filter(|o| o.key == 7).count();
         assert!(hot * 10 > mid.len() * 7, "{hot}/{} mid-run requests on the hot key", mid.len());
+    }
+
+    // ---- fault injection & failure detection ------------------------------
+
+    use rechord_core::CrimeSet;
+
+    fn adversarial_cfg(seed: u64, fraction: f64, crimes: CrimeSet) -> WorkloadConfig {
+        let mut cfg = steady_cfg(seed);
+        cfg.adversary = AdversaryConfig { fraction, crimes, ..Default::default() };
+        cfg
+    }
+
+    #[test]
+    fn stale_detection_of_a_rejoined_peer_is_cancelled() {
+        // A peer crashes and *rejoins under the same identity* before the
+        // failure detector fires. The pending `DetectCrash` is stale: it
+        // must be ignored, not act on a live peer. (With natural churn this
+        // never happens — rejoining idents are fresh — so the regression is
+        // driven by hand.)
+        let mut sim =
+            TrafficSim::new(steady_cfg(41), stable_net(10, 41), &TimedChurnPlan::default());
+        let victim = sim.table.peers()[2];
+        let contact = sim.table.peers()[0];
+        sim.placement.apply_leave(victim, Departure::Crash);
+        sim.table.remove_peer(victim);
+        assert!(sim.net.crash(victim), "victim crashed");
+        assert!(sim.net.join_via(victim, contact), "…and rejoined as itself");
+
+        // Make the routing table observably stale: drop an unrelated peer
+        // from the *view only*. A full refresh would resurrect it.
+        let canary = sim.table.peers()[4];
+        sim.table.remove_peer(canary);
+        assert!(sim.table.knowledge_of(canary).is_none());
+
+        sim.on_detect_crash(victim);
+        assert!(
+            sim.table.knowledge_of(canary).is_none(),
+            "stale detection of a live peer must be a no-op, not a view refresh"
+        );
+
+        // The same detection against a peer that stayed dead must scrub.
+        let dead = sim.table.peers()[1];
+        sim.placement.apply_leave(dead, Departure::Crash);
+        sim.table.remove_peer(dead);
+        assert!(sim.net.crash(dead));
+        sim.on_detect_crash(dead);
+        assert!(
+            sim.table.knowledge_of(canary).is_some(),
+            "a genuine detection refreshes every survivor's view"
+        );
+    }
+
+    #[test]
+    fn poisoned_reads_surface_as_corrupted() {
+        let cfg = adversarial_cfg(19, 0.5, CrimeSet::single(Crime::StaleReadPoison));
+        let mut sim = TrafficSim::new(cfg, stable_net(12, 19), &TimedChurnPlan::default());
+        sim.preload();
+        let report = sim.run();
+        assert!(report.summary.corrupted > 0, "poisoners must corrupt reads: {}", report.summary);
+        assert!(report.summary.availability < 1.0, "corruption counts against the SLO");
+        assert_eq!(report.summary.lost, 0, "poison answers; it does not drop");
+    }
+
+    #[test]
+    fn forward_droppers_degrade_availability_monotonically() {
+        let run = |fraction| {
+            let cfg = adversarial_cfg(23, fraction, CrimeSet::single(Crime::DropForward));
+            let mut sim = TrafficSim::new(cfg, stable_net(16, 23), &TimedChurnPlan::default());
+            sim.preload();
+            sim.run().summary.availability
+        };
+        let (clean, mild, heavy) = (run(0.0), run(0.25), run(0.5));
+        assert_eq!(clean, 1.0, "fraction 0 is the honest simulator");
+        assert!(mild < clean, "a quarter of peers dropping forwards must hurt");
+        assert!(heavy <= mild, "more droppers can never help (got {mild} -> {heavy})");
+    }
+
+    #[test]
+    fn false_suspicions_bounce_requests_off_live_peers() {
+        let mut cfg = steady_cfg(29);
+        cfg.detector = DetectorConfig { false_suspect_every: 100, suspect_for: 300, lag_jitter: 0 };
+        let mut sim = TrafficSim::new(cfg, stable_net(12, 29), &TimedChurnPlan::default());
+        sim.preload();
+        let report = sim.run();
+        assert!(report.suspicions > 0, "the cadence must raise suspicions");
+        assert!(
+            report.sink.outcomes().iter().any(|o| o.retries > 0),
+            "bounces off suspected (live!) peers show up as retries"
+        );
+        assert!(
+            report.summary.availability < 1.0,
+            "every peer is healthy, yet the over-eager detector costs real availability"
+        );
+        assert!(report.summary.availability > 0.5, "{}", report.summary);
+    }
+
+    #[test]
+    fn sybil_wave_grows_the_network_with_byzantine_identities() {
+        let mut cfg = steady_cfg(37);
+        cfg.adversary = AdversaryConfig {
+            fraction: 0.25,
+            crimes: CrimeSet::single(Crime::SybilJoinWave).with(Crime::StaleReadPoison),
+            sybil_wave: 2,
+            sybil_at: 500,
+            ..Default::default()
+        };
+        let mut sim = TrafficSim::new(cfg, stable_net(12, 37), &TimedChurnPlan::default());
+        sim.preload();
+        let report = sim.run();
+        assert_eq!(report.final_peers, 12 + 3 * 2, "each attacker injected its wave");
+        assert!(report.stable_at_end, "the rules absorb the wave");
+    }
+
+    #[test]
+    fn inert_adversary_config_is_trace_identical_to_honest() {
+        // Declaring a fraction with an *empty* crime set corrupts nobody:
+        // the run must be byte-for-byte the honest simulator — no policy
+        // map installed, no RNG draw consumed, no event reordered.
+        let run = |cfg: WorkloadConfig| {
+            let mut sim = TrafficSim::new(
+                cfg,
+                stable_net(10, 43),
+                &TimedChurnPlan::storm(3, 0.5, 500, 200, 7),
+            );
+            sim.preload();
+            let r = sim.run();
+            (r.sink.trace(), r.rounds, r.suspicions)
+        };
+        let honest = run(steady_cfg(43));
+        let inert = run(adversarial_cfg(43, 0.5, CrimeSet::EMPTY));
+        assert_eq!(honest, inert);
+        assert_eq!(honest.2, 0, "the legacy detector never suspects");
     }
 }
