@@ -52,7 +52,19 @@ run cargo run --release --offline --bin sweep -- --smoke
 #     corrupted fraction, and nothing panics at fraction 1/2.
 run cargo run --release --offline --bin adversary -- --smoke
 
-# 3e. Placement-engine scale smoke in release mode: ≥100k keys / 256 peers,
+# 3e. The sharded data plane: the traffic smoke re-run with 4 worker
+#     threads must pass the identical SLO gates (byte-parity across worker
+#     counts is pinned by tests/shard_parity.rs in step 2; this leg proves
+#     the threaded path drives the full scenario stack end to end).
+run cargo run --release --offline --bin traffic -- --smoke --threads 4
+
+# 3f. The shard bench trajectory on its smoke grid: the 1M-key and the
+#     10M-key / 10k-peer scenarios at 1 and 4 workers, parity asserted
+#     before any timing is reported (results/shard_smoke.json; the
+#     committed BENCH_shard.json holds the full-grid trajectory).
+run cargo run --release --offline --bin shard -- --smoke
+
+# 3g. Placement-engine scale smoke in release mode: ≥100k keys / 256 peers,
 #     a single join/leave must repair far less than 20% of the keys, and
 #     the delta-vs-rebuild proptests must hold.
 run cargo test -q --release --offline -p rechord_placement

@@ -27,6 +27,20 @@ pub fn harness_threads() -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
 }
 
+/// Data-plane worker threads for the workload simulator, from the
+/// `--threads N` flag every traffic-driving binary accepts (default 1 —
+/// the serial drain). The shard-parity suites prove the count cannot
+/// change one byte of output, so this is purely a wall-clock knob.
+pub fn cli_threads() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or(1);
+        }
+    }
+    1
+}
+
 /// Round budget safety cap for stabilization runs.
 pub const MAX_ROUNDS: u64 = 200_000;
 
@@ -48,7 +62,8 @@ pub fn stabilized_random(n: usize, seed: u64) -> (ReChordNetwork, FixpointReport
 /// 2-tick per-peer service time, a 128-hop budget with 2 retries at
 /// 40-tick backoff, and a 50-tick round cadence. Binaries override the
 /// knobs their experiment varies (horizon, key universe, round tempo,
-/// repair bandwidth) and leave the rest alone.
+/// repair bandwidth) and leave the rest alone. The data plane runs on
+/// [`cli_threads`] workers — byte-identical output at any count.
 pub fn scenario_config(seed: u64, horizon: u64, interarrival: f64) -> WorkloadConfig {
     WorkloadConfig {
         seed,
@@ -74,6 +89,8 @@ pub fn scenario_config(seed: u64, horizon: u64, interarrival: f64) -> WorkloadCo
         max_keys_per_peer: 0,
         adversary: Default::default(),
         detector: Default::default(),
+        workers: cli_threads(), // the binaries' `--threads` axis
+        arcs: 0,                // auto: 8 arcs per worker
     }
 }
 

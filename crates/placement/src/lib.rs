@@ -76,7 +76,10 @@
 
 mod map;
 
-pub use map::{Departure, PlacementMap, Probe, Record, RepairStats, RepairStep};
+pub use map::{
+    arc_of, arc_start, ArcView, Departure, PlacementMap, Probe, Record, RepairStats, RepairStep,
+    ShardKey,
+};
 
 #[cfg(test)]
 mod proptests;

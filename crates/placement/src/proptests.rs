@@ -3,7 +3,7 @@
 //! final snapshot, and every intermediate state must satisfy the structural
 //! invariants.
 
-use crate::{Departure, PlacementMap};
+use crate::{arc_of, Departure, PlacementMap, RepairStats};
 use proptest::prelude::*;
 use rechord_id::IdSpace;
 
@@ -138,6 +138,59 @@ proptest! {
 
         let mut rebuilt = paced.clone();
         prop_assert!(rebuilt.rebuild().is_noop(), "paced result is a rebuild fixpoint");
+    }
+
+    /// The sharded-repair oracle: `repair_delta_scoped` applied one ring
+    /// arc at a time — any arc count (including 1 and counts exceeding the
+    /// population), any drain order — composes to exactly the
+    /// unpartitioned `repair_delta`, placement and stats alike.
+    #[test]
+    fn scoped_arc_deltas_compose_to_the_unpartitioned_delta(
+        seed in 1u64..1_000,
+        initial in 0u64..12,
+        replication in 1usize..5,
+        ops in trace(),
+        arcs in 1usize..40,
+        order_seed in any::<u64>(),
+    ) {
+        let mut sharded = run_trace(seed, initial, replication, &ops);
+        let mut oracle = sharded.clone();
+        let full = oracle.repair_delta();
+
+        // Drain the arcs in a seed-scrambled order: composition must not
+        // care which worker finishes first.
+        let mut order: Vec<usize> = (0..arcs).collect();
+        order.sort_by_key(|&a| (a as u64).wrapping_mul(order_seed | 1).rotate_left(13));
+        let mut merged = RepairStats::default();
+        for a in order {
+            merged.merge(sharded.repair_delta_scoped(|p| arc_of(p.raw(), arcs) == a));
+            sharded.check_invariants().expect("invariants hold mid-composition");
+        }
+        prop_assert_eq!(&sharded, &oracle, "scoped composition diverged from the full delta");
+        prop_assert_eq!(merged, full, "scoped stats fold to different totals");
+        prop_assert!(!sharded.repair_pending(), "a full partition drains every dirty arc");
+    }
+
+    /// Bulk preload is bit-identical to the same rows written through
+    /// `put`, for any key set and peer population.
+    #[test]
+    fn bulk_load_matches_per_key_puts(
+        seed in 1u64..1_000,
+        peers in 1u64..20,
+        replication in 1usize..5,
+        keys in proptest::collection::btree_set(0u64..4_096, 0..200),
+    ) {
+        let space = IdSpace::new(seed);
+        let ids: Vec<_> = (0..peers).map(|a| space.ident_of(a)).collect();
+        let mut bulk: PlacementMap<u64> = PlacementMap::from_peers(&ids, replication);
+        let mut slow: PlacementMap<u64> = PlacementMap::from_peers(&ids, replication);
+        for &k in &keys {
+            slow.put(space.key_position(k), k, k, k);
+        }
+        let n = bulk.bulk_load(keys.iter().map(|&k| (space.key_position(k), k, k, k)));
+        prop_assert_eq!(n, keys.len());
+        bulk.check_invariants().expect("bulk invariants");
+        prop_assert_eq!(&bulk, &slow, "bulk_load diverged from puts");
     }
 
     /// Repair is idempotent and a repaired map is a `rebuild` fixpoint.

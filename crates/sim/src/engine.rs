@@ -320,27 +320,20 @@ impl<P: SyncProtocol> Engine<P> {
         let protocol = &self.protocol;
         let ids = &self.ids;
         let active_flags: Vec<bool> = ids.iter().map(|&id| active(id)).collect();
-        let mut buffers: Vec<Vec<(Ident, P::Msg)>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for ((id_chunk, st_chunk), fl_chunk) in
-                ids.chunks(chunk).zip(self.states.chunks_mut(chunk)).zip(active_flags.chunks(chunk))
-            {
-                let view = RoundView { ids, states: prev };
-                handles.push(scope.spawn(move || {
-                    let mut out = Outbox::new();
-                    for ((id, st), &fire) in id_chunk.iter().zip(st_chunk.iter_mut()).zip(fl_chunk)
-                    {
-                        if fire {
-                            protocol.step(*id, st, &view, &mut out);
-                        }
-                    }
-                    out.into_inner()
-                }));
+        let contexts: Vec<_> = ids
+            .chunks(chunk)
+            .zip(self.states.chunks_mut(chunk))
+            .zip(active_flags.chunks(chunk))
+            .collect();
+        let buffers = crate::pool::run_workers(contexts, |_, ((id_chunk, st_chunk), fl_chunk)| {
+            let view = RoundView { ids, states: prev };
+            let mut out = Outbox::new();
+            for ((id, st), &fire) in id_chunk.iter().zip(st_chunk.iter_mut()).zip(fl_chunk) {
+                if fire {
+                    protocol.step(*id, st, &view, &mut out);
+                }
             }
-            for h in handles {
-                buffers.push(h.join().expect("simulation worker panicked"));
-            }
+            out.into_inner()
         });
         buffers.into_iter().flatten().collect()
     }

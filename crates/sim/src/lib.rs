@@ -26,6 +26,7 @@
 
 mod engine;
 mod outbox;
+pub mod pool;
 mod report;
 
 pub use engine::{Engine, RoundOutcome, RoundView};

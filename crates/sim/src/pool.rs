@@ -1,0 +1,56 @@
+//! The shared scoped worker pool: one closure invocation per worker
+//! context, fanned out over `std::thread::scope` and joined in context
+//! order.
+//!
+//! Both parallel layers of the workspace run on this primitive — the
+//! synchronous protocol engine shards its per-node round step across it
+//! ([`crate::Engine`]), and the workload's sharded data plane runs one
+//! per-arc-range worker per context — so "how many OS threads do we spawn
+//! and how do we join them deterministically" exists exactly once.
+
+/// Runs `f(worker_index, context)` once per context, each on its own
+/// scoped thread, and returns the results in context order — the output is
+/// a pure function of the inputs, independent of OS scheduling. With a
+/// single context the closure runs inline on the calling thread: the
+/// serial path spawns nothing, so `contexts.len() == 1` is also the
+/// zero-overhead fallback for machines without spare cores.
+pub fn run_workers<C, R, F>(contexts: Vec<C>, f: F) -> Vec<R>
+where
+    C: Send,
+    R: Send,
+    F: Fn(usize, C) -> R + Sync,
+{
+    if contexts.len() <= 1 {
+        return contexts.into_iter().enumerate().map(|(w, c)| f(w, c)).collect();
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            contexts.into_iter().enumerate().map(|(w, c)| scope.spawn(move || f(w, c))).collect();
+        handles.into_iter().map(|h| h.join().expect("simulation worker panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_join_in_context_order() {
+        for n in [0usize, 1, 2, 7, 16] {
+            let contexts: Vec<usize> = (0..n).collect();
+            let out = run_workers(contexts, |w, c| {
+                assert_eq!(w, c, "index matches context position");
+                c * 10
+            });
+            assert_eq!(out, (0..n).map(|c| c * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn contexts_move_into_their_workers() {
+        let contexts: Vec<Vec<u64>> = vec![vec![1, 2], vec![3], vec![4, 5, 6]];
+        let sums = run_workers(contexts, |_, v| v.into_iter().sum::<u64>());
+        assert_eq!(sums, vec![3, 3, 15]);
+    }
+}

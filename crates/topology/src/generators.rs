@@ -39,11 +39,17 @@ pub enum TopologyKind {
     /// weakly connected by a single bridge edge. Classic Chord's stabilize
     /// cannot merge such "loopy" states; Re-Chord must.
     DoubleRingBridge,
+    /// A sorted ring with power-of-two index fingers (each peer knows its
+    /// predecessor, successor, and the peers 2^k positions clockwise):
+    /// greedy-routable in O(log n) hops *before* any protocol round runs.
+    /// This is how the scale benches get a routable 10k-peer overlay
+    /// without paying the O(n)-round stabilization bill up front.
+    FingerRing,
 }
 
 impl TopologyKind {
     /// All families, for sweep tables.
-    pub const ALL: [TopologyKind; 7] = [
+    pub const ALL: [TopologyKind; 8] = [
         TopologyKind::Random,
         TopologyKind::RandomLine,
         TopologyKind::SortedLine,
@@ -51,6 +57,7 @@ impl TopologyKind {
         TopologyKind::Clique,
         TopologyKind::BinaryTree,
         TopologyKind::DoubleRingBridge,
+        TopologyKind::FingerRing,
     ];
 
     /// Short display name for tables.
@@ -63,6 +70,7 @@ impl TopologyKind {
             TopologyKind::Clique => "clique",
             TopologyKind::BinaryTree => "binary-tree",
             TopologyKind::DoubleRingBridge => "double-ring-bridge",
+            TopologyKind::FingerRing => "finger-ring",
         }
     }
 
@@ -133,6 +141,23 @@ impl TopologyKind {
                 }
                 if n >= 2 {
                     edges.push((0, 1)); // the single bridge
+                }
+                InitialTopology::new(ids, edges)
+            }
+            TopologyKind::FingerRing => {
+                // ids are sorted, so index order is clockwise ident order:
+                // the finger at +2^k spans exactly 2^k ring positions and
+                // greedy routing halves the remaining index gap per hop.
+                let mut edges = Vec::new();
+                for i in 0..n {
+                    if n > 1 {
+                        edges.push((i, (i + n - 1) % n)); // predecessor
+                    }
+                    let mut step = 1usize;
+                    while step < n {
+                        edges.push((i, (i + step) % n));
+                        step <<= 1;
+                    }
                 }
                 InitialTopology::new(ids, edges)
             }
@@ -212,5 +237,20 @@ mod tests {
         let t = TopologyKind::Star.generate(9, 8);
         assert_eq!(t.edges.len(), 8);
         assert!(t.is_weakly_connected());
+    }
+
+    #[test]
+    fn finger_ring_has_logarithmic_degree_in_ident_order() {
+        let n = 64;
+        let t = TopologyKind::FingerRing.generate(n, 11);
+        // Per peer: predecessor + fingers at 1, 2, 4, …, 32 — all distinct.
+        assert_eq!(t.edges.len(), n * 7);
+        assert!(t.is_weakly_connected());
+        // Fingers follow sorted-ident order: every peer's +1 finger is its
+        // clockwise successor, so the successor cycle is fully present.
+        for i in 0..n {
+            assert!(t.edges.contains(&(i, (i + 1) % n)), "missing successor edge of {i}");
+            assert!(t.edges.contains(&(i, (i + 32) % n)), "missing widest finger of {i}");
+        }
     }
 }

@@ -77,6 +77,14 @@ impl<E> EventQueue<E> {
         Some((s.time, s.event))
     }
 
+    /// The instant of the earliest pending event without popping it —
+    /// `None` when the queue is empty. The sharded data plane uses this to
+    /// bound a batch: data events run up to (not including) the next
+    /// control-event instant.
+    pub fn next_time(&self) -> Option<u64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -123,6 +131,18 @@ mod tests {
         q.push(3, "past"); // clamped to now
         assert_eq!(q.pop(), Some((100, "past")));
         assert_eq!(q.now(), 100);
+    }
+
+    #[test]
+    fn next_time_peeks_without_advancing() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.push(40, "b");
+        q.push(15, "a");
+        assert_eq!(q.next_time(), Some(15));
+        assert_eq!(q.now(), 0, "peeking does not advance the clock");
+        q.pop();
+        assert_eq!(q.next_time(), Some(40));
     }
 
     #[test]

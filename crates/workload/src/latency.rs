@@ -4,8 +4,8 @@
 use rand::distributions::{Distribution, Exp};
 use rand::rngs::SmallRng;
 use rand::Rng;
+use rechord_core::adversary::mix;
 use rechord_id::Ident;
-use std::collections::BTreeMap;
 
 /// The latency law applied to every peer-to-peer hop (local steps through a
 /// peer's own virtual nodes are free — the peer simulates them in memory).
@@ -52,6 +52,46 @@ impl LatencyModel {
         }
     }
 
+    /// Draws one hop latency as a *pure function* of the given key words
+    /// (hashed through the splitmix finalizer), so concurrent workers can
+    /// sample without sharing an rng stream. Two draws agree iff their key
+    /// words agree — the sharded data plane keys every draw by
+    /// `(seed, tag, request id, attempt)` so the trace is independent of
+    /// worker count and processing order.
+    pub fn sample_keyed(&self, words: &[u64]) -> u64 {
+        let h = mix(words);
+        match *self {
+            LatencyModel::Fixed(t) => t.max(1),
+            LatencyModel::Uniform { lo, hi } => {
+                assert!(lo <= hi, "uniform latency needs lo <= hi");
+                // Full-width range: `hi - lo + 1` would overflow, and the
+                // hash is already uniform over all of u64.
+                let x = if hi.wrapping_sub(lo) == u64::MAX { h } else { lo + h % (hi - lo + 1) };
+                x.max(1)
+            }
+            LatencyModel::Exponential { mean } => {
+                // Inverse-CDF with 53 uniform bits, mirroring the floored
+                // rounding of the rng-stream sampler.
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                let draw = -mean.max(f64::MIN_POSITIVE) * (1.0 - u).ln();
+                (draw.round() as u64).max(1)
+            }
+        }
+    }
+
+    /// The smallest latency this model can ever produce — the safe
+    /// *lookahead* of the sharded data plane: two events at instants less
+    /// than `min_delay()` apart can only be causally related if they belong
+    /// to the same request, so a window of this width can be processed in
+    /// parallel across arcs.
+    pub fn min_delay(&self) -> u64 {
+        match *self {
+            LatencyModel::Fixed(t) => t.max(1),
+            LatencyModel::Uniform { lo, .. } => lo.max(1),
+            LatencyModel::Exponential { .. } => 1,
+        }
+    }
+
     /// The model's mean hop latency in ticks (approximate for a `Uniform`
     /// with `lo: 0`, where the ≥1 floor shifts the true mean slightly up).
     pub fn mean(&self) -> f64 {
@@ -69,17 +109,28 @@ impl LatencyModel {
 ///
 /// `service_time == 0` models infinite service rate (no queueing, no
 /// bookkeeping): the pre-capacity behavior of the simulator.
+///
+/// Layout is structure-of-arrays: a sorted column of peer idents parallel
+/// to a column of free-at instants. Iteration order is therefore the ident
+/// order by construction (the pre-SoA `BTreeMap` was also sorted — the
+/// audit for hash-order drain dependence found none — but the flat columns
+/// make the invariant structural *and* let the sharded data plane hand
+/// each worker a disjoint `&mut` slice of its arcs' backlog entries via
+/// [`ServiceQueue::split`], no locks).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServiceQueue {
     service_time: u64,
-    /// Virtual instant each peer's server frees up (absent = idle forever).
-    next_free: BTreeMap<Ident, u64>,
+    /// Sorted peer idents; `free_at[i]` belongs to `peers[i]`.
+    peers: Vec<Ident>,
+    /// Virtual instant each peer's server frees up (0 = idle; a missing
+    /// peer is equivalent to an entry at 0).
+    free_at: Vec<u64>,
 }
 
 impl ServiceQueue {
     /// A queue where every peer serves one request per `service_time` ticks.
     pub fn new(service_time: u64) -> Self {
-        ServiceQueue { service_time, next_free: BTreeMap::new() }
+        ServiceQueue { service_time, peers: Vec::new(), free_at: Vec::new() }
     }
 
     /// Ticks one request occupies a peer's server (0 = infinite capacity).
@@ -95,20 +146,139 @@ impl ServiceQueue {
         if self.service_time == 0 {
             return arrival;
         }
-        let free = self.next_free.entry(peer).or_insert(0);
-        let done = arrival.max(*free) + self.service_time;
-        *free = done;
+        let i = match self.peers.binary_search(&peer) {
+            Ok(i) => i,
+            Err(i) => {
+                self.peers.insert(i, peer);
+                self.free_at.insert(i, 0);
+                i
+            }
+        };
+        let done = arrival.max(self.free_at[i]) + self.service_time;
+        self.free_at[i] = done;
         done
     }
 
     /// How many ticks of backlog `peer` has at instant `now`.
     pub fn backlog_of(&self, peer: Ident, now: u64) -> u64 {
-        self.next_free.get(&peer).map_or(0, |f| f.saturating_sub(now))
+        match self.peers.binary_search(&peer) {
+            Ok(i) => self.free_at[i].saturating_sub(now),
+            Err(_) => 0,
+        }
     }
 
     /// Forgets a departed peer's backlog.
     pub fn forget(&mut self, peer: Ident) {
-        self.next_free.remove(&peer);
+        if let Ok(i) = self.peers.binary_search(&peer) {
+            self.peers.remove(i);
+            self.free_at.remove(i);
+        }
+    }
+
+    /// Ensures every peer in `live` (any order) has an entry, inserting
+    /// idle (`free_at = 0`) rows for the missing ones. The sharded data
+    /// plane calls this before splitting so that parallel workers — which
+    /// cannot insert into a shared column — find every admissible peer
+    /// already present. Inserting at 0 is observationally identical to the
+    /// peer being absent.
+    pub fn sync_peers(&mut self, live: &[Ident]) {
+        if self.service_time == 0 {
+            return;
+        }
+        let mut sorted: Vec<Ident> = live.to_vec();
+        sorted.sort_unstable();
+        let mut merged_peers = Vec::with_capacity(self.peers.len() + sorted.len());
+        let mut merged_free = Vec::with_capacity(self.peers.len() + sorted.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.peers.len() || j < sorted.len() {
+            if i < self.peers.len() && (j >= sorted.len() || self.peers[i] <= sorted[j]) {
+                if j < sorted.len() && self.peers[i] == sorted[j] {
+                    j += 1;
+                }
+                merged_peers.push(self.peers[i]);
+                merged_free.push(self.free_at[i]);
+                i += 1;
+            } else {
+                merged_peers.push(sorted[j]);
+                merged_free.push(0);
+                j += 1;
+            }
+        }
+        self.peers = merged_peers;
+        self.free_at = merged_free;
+    }
+
+    /// Splits the backlog columns into disjoint mutable slices, one per
+    /// arc, where `arc_starts[a]` is the smallest raw ident belonging to
+    /// arc `a` (so `arc_starts[0] == 0` and the array is ascending). Each
+    /// returned [`ServiceSlice`] can admit and query only peers inside its
+    /// arc — the split borrows are disjoint, so workers share nothing.
+    pub fn split<'q>(&'q mut self, arc_starts: &[u64]) -> Vec<ServiceSlice<'q>> {
+        debug_assert!(arc_starts.first().is_none_or(|&s| s == 0));
+        debug_assert!(arc_starts.windows(2).all(|w| w[0] <= w[1]));
+        let mut out = Vec::with_capacity(arc_starts.len());
+        let mut peers_rest: &'q [Ident] = &self.peers;
+        let mut free_rest: &'q mut [u64] = &mut self.free_at;
+        for (a, &start) in arc_starts.iter().enumerate() {
+            let end_raw = arc_starts.get(a + 1).copied();
+            let cut = match end_raw {
+                Some(e) => peers_rest.partition_point(|p| p.raw() < e),
+                None => peers_rest.len(),
+            };
+            let (peers_here, p_rest) = peers_rest.split_at(cut);
+            let (free_here, f_rest) = free_rest.split_at_mut(cut);
+            debug_assert!(peers_here.iter().all(|p| p.raw() >= start));
+            peers_rest = p_rest;
+            free_rest = f_rest;
+            out.push(ServiceSlice {
+                service_time: self.service_time,
+                peers: peers_here,
+                free_at: free_here,
+            });
+        }
+        out
+    }
+}
+
+/// One arc's disjoint view of a [`ServiceQueue`]: the same FIFO admission
+/// arithmetic over a `&mut` slice of the backlog column. Produced by
+/// [`ServiceQueue::split`]; admissions through a slice are visible in the
+/// parent queue once the borrow ends.
+pub struct ServiceSlice<'q> {
+    service_time: u64,
+    peers: &'q [Ident],
+    free_at: &'q mut [u64],
+}
+
+impl ServiceSlice<'_> {
+    /// Slice-local [`ServiceQueue::admit`]. The peer must live inside this
+    /// slice's arc (guaranteed when events are partitioned by destination
+    /// arc); an unknown peer is served without recording backlog, which
+    /// can only happen for a peer admitted mid-batch — impossible, since
+    /// membership changes are control-plane events at batch boundaries.
+    pub fn admit(&mut self, peer: Ident, arrival: u64) -> u64 {
+        if self.service_time == 0 {
+            return arrival;
+        }
+        match self.peers.binary_search(&peer) {
+            Ok(i) => {
+                let done = arrival.max(self.free_at[i]) + self.service_time;
+                self.free_at[i] = done;
+                done
+            }
+            Err(_) => {
+                debug_assert!(false, "admit for a peer outside the synced slice: {peer:?}");
+                arrival + self.service_time
+            }
+        }
+    }
+
+    /// Slice-local [`ServiceQueue::backlog_of`].
+    pub fn backlog_of(&self, peer: Ident, now: u64) -> u64 {
+        match self.peers.binary_search(&peer) {
+            Ok(i) => self.free_at[i].saturating_sub(now),
+            Err(_) => 0,
+        }
     }
 }
 
@@ -250,6 +420,109 @@ mod tests {
             assert_eq!(q.admit(p, t), t, "no queueing at infinite rate");
         }
         assert_eq!(q.backlog_of(p, 0), 0);
+    }
+
+    #[test]
+    fn keyed_draws_are_pure_bounded_and_key_sensitive() {
+        let m = LatencyModel::Uniform { lo: 5, hi: 15 };
+        let mut seen = std::collections::BTreeSet::new();
+        for id in 0..2_000u64 {
+            let x = m.sample_keyed(&[42, 0xabc, id]);
+            assert!((5..=15).contains(&x));
+            assert_eq!(x, m.sample_keyed(&[42, 0xabc, id]), "same key, same draw");
+            seen.insert(x);
+        }
+        assert_eq!(seen.len(), 11, "all 11 values of [5,15] are reachable");
+        // Fixed ignores the key entirely; the floor still applies.
+        assert_eq!(LatencyModel::Fixed(0).sample_keyed(&[1, 2]), 1);
+        assert_eq!(LatencyModel::Fixed(9).sample_keyed(&[3]), 9);
+        // Full-width uniform must not overflow, and stays floored.
+        let full = LatencyModel::Uniform { lo: 0, hi: u64::MAX };
+        for id in 0..100u64 {
+            assert!(full.sample_keyed(&[id]) >= 1);
+        }
+    }
+
+    #[test]
+    fn keyed_exponential_mean_roughly_holds() {
+        let m = LatencyModel::Exponential { mean: 20.0 };
+        let n = 20_000u64;
+        let sum: u64 = (0..n).map(|id| m.sample_keyed(&[7, id])).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 20.0).abs() < 1.0, "empirical keyed mean {mean}");
+    }
+
+    #[test]
+    fn min_delay_is_a_true_lower_bound() {
+        let models = [
+            LatencyModel::Fixed(4),
+            LatencyModel::Fixed(0),
+            LatencyModel::Uniform { lo: 0, hi: 6 },
+            LatencyModel::Uniform { lo: 3, hi: 9 },
+            LatencyModel::Exponential { mean: 5.0 },
+        ];
+        for m in models {
+            let floor = m.min_delay();
+            assert!(floor >= 1);
+            for id in 0..3_000u64 {
+                assert!(m.sample_keyed(&[11, id]) >= floor, "{m:?} broke its floor");
+            }
+        }
+    }
+
+    #[test]
+    fn split_slices_admit_exactly_like_the_global_queue() {
+        // The satellite-5 regression: partition peers into arcs, drive the
+        // same admission schedule through per-arc slices and through one
+        // global queue — the resulting backlog columns must be identical.
+        let peers: Vec<Ident> = [3u64, 10, 25, 40, 77, 90, 150, 200]
+            .iter()
+            .map(|&r| Ident::from_raw(r << 56))
+            .collect();
+        let schedule: Vec<(usize, u64)> =
+            vec![(0, 5), (3, 5), (3, 6), (7, 9), (1, 12), (3, 14), (6, 20), (0, 21)];
+
+        let mut global = ServiceQueue::new(10);
+        global.sync_peers(&peers);
+        let mut expect = Vec::new();
+        for &(p, at) in &schedule {
+            expect.push(global.admit(peers[p], at));
+        }
+
+        let mut sharded = ServiceQueue::new(10);
+        sharded.sync_peers(&peers);
+        // Three arcs over the raw space: [0, 2^62), [2^62, 2^63), rest.
+        let starts = [0u64, 1 << 62, 1 << 63];
+        let arc_of = |r: u64| starts.iter().rposition(|&s| r >= s).unwrap();
+        {
+            let mut slices = sharded.split(&starts);
+            let mut got = Vec::new();
+            for &(p, at) in &schedule {
+                got.push(slices[arc_of(peers[p].raw())].admit(peers[p], at));
+            }
+            assert_eq!(got, expect, "slice admissions == global admissions");
+        }
+        assert_eq!(sharded, global, "post-batch columns are identical");
+        for &p in &peers {
+            assert_eq!(sharded.backlog_of(p, 20), global.backlog_of(p, 20));
+        }
+    }
+
+    #[test]
+    fn sync_peers_inserts_idle_rows_only() {
+        let a = Ident::from_raw(10);
+        let b = Ident::from_raw(20);
+        let c = Ident::from_raw(30);
+        let mut q = ServiceQueue::new(5);
+        q.admit(b, 100);
+        let before = q.backlog_of(b, 100);
+        q.sync_peers(&[c, a, b]);
+        assert_eq!(q.backlog_of(b, 100), before, "existing backlog survives sync");
+        assert_eq!(q.backlog_of(a, 0), 0);
+        assert_eq!(q.backlog_of(c, 0), 0);
+        // Synced-at-idle is observationally identical to absent.
+        let mut fresh = ServiceQueue::new(5);
+        assert_eq!(q.admit(a, 7), fresh.admit(a, 7));
     }
 
     #[test]

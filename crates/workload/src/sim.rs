@@ -1,5 +1,6 @@
 //! The co-simulation driver: protocol rounds, churn, and client requests on
-//! one discrete-event clock.
+//! one discrete-event clock — with the request lifecycle sharded by ring
+//! arc and drained by parallel workers between control-event barriers.
 //!
 //! A [`TrafficSim`] owns a live [`ReChordNetwork`] and a [`RoutingTable`]
 //! kept current through the engine's dirty-peer hook. Requests route **hop
@@ -7,6 +8,21 @@
 //! a lookup issued mid-stabilization can stall, land on a crashed peer, get
 //! retried from another entry point, or be lost: exactly the client
 //! experience the convergence theorems are silent about.
+//!
+//! The event population splits in two (see [`crate::shard`]):
+//!
+//! * the **control plane** — rounds, churn, detector ticks, sybil joins,
+//!   repair slices — is rare, globally coupled, and stays on the main
+//!   thread in the global [`EventQueue`];
+//! * the **data plane** — request hops and service completions, the hot
+//!   99% — is partitioned by the destination peer's ring arc into
+//!   [`ArcQueues`] and drained by `cfg.workers` threads between control
+//!   barriers. Every mutable column a worker touches (service backlog,
+//!   placement shard, outcome log) belongs to its arcs; every random draw
+//!   is a pure function of `(seed, tag, request id, attempt)`; worker
+//!   buffers merge in canonical order at the barrier. Traces are therefore
+//!   **bit-identical for any worker and arc count** — pinned by
+//!   `tests/shard_parity.rs`.
 //!
 //! Storage follows Chord's successor-list replication: a put writes the
 //! responsible peer and its `replication - 1` cyclic successors; a get
@@ -36,18 +52,22 @@ use crate::adversary::AdversaryConfig;
 use crate::detector::{DetectorConfig, FailureDetector};
 use crate::event::EventQueue;
 use crate::generator::{Op, Request, TrafficConfig, TrafficGen};
-use crate::latency::{LatencyModel, ServiceQueue};
+use crate::latency::{LatencyModel, ServiceQueue, ServiceSlice};
 use crate::metrics::{OutcomeKind, RequestOutcome, SloSink, SloSummary};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::shard::{self, ArcQueues, Outbox, ShardHandler};
 use rechord_core::adversary::{chance, mix, AdversaryMap, Behavior, Crime};
 use rechord_core::network::ReChordNetwork;
 use rechord_id::{IdSpace, Ident};
-use rechord_placement::{Departure, PlacementMap};
+use rechord_placement::{arc_of, arc_start, ArcView, Departure, PlacementMap, ShardKey};
 use rechord_routing::{route_step, HopDecision, RoutingTable};
 use rechord_topology::{ChurnEvent, TimedChurnPlan};
 use std::collections::BTreeSet;
 use std::sync::Arc;
+
+/// Domain tag for pure per-hop latency draws.
+const LAT_TAG: u64 = 0x1a7e_4c1e;
+/// Domain tag for pure entry-peer picks.
+const ENTRY_TAG: u64 = 0xe417_2ee1;
 
 /// Everything that parameterizes a workload run (traffic shape aside, see
 /// [`TrafficConfig`]).
@@ -108,6 +128,15 @@ pub struct WorkloadConfig {
     /// Per-peer failure-detector knobs ([`DetectorConfig`]). The default
     /// (all zero) is the legacy uniform-lag, never-erring detector.
     pub detector: DetectorConfig,
+    /// Data-plane worker threads draining the sharded event queues between
+    /// control barriers. `0` and `1` both mean the serial drain; any value
+    /// yields bit-identical traces (protocol rounds share the same pool
+    /// sizing). Clamped to one worker per arc.
+    pub workers: usize,
+    /// Ring arcs the data plane is partitioned into. `0` picks
+    /// `8 × workers` automatically. The trace is independent of this knob
+    /// too; more arcs smooth worker load balance on skewed rings.
+    pub arcs: usize,
 }
 
 impl Default for WorkloadConfig {
@@ -130,6 +159,8 @@ impl Default for WorkloadConfig {
             max_keys_per_peer: 0,
             adversary: AdversaryConfig::default(),
             detector: DetectorConfig::default(),
+            workers: 1,
+            arcs: 0,
         }
     }
 }
@@ -153,16 +184,17 @@ pub struct SimReport {
     /// Suspicions the failure detector raised (false positives plus
     /// heartbeat-stalling attacks; 0 under the legacy accurate detector).
     pub suspicions: usize,
+    /// Data-plane events processed (request hops plus queued service
+    /// completions) — the throughput denominator the benches report.
+    pub events: u64,
+    /// [`PlacementMap::digest`] of the final placement — the parity suites
+    /// assert it is identical across worker and arc counts.
+    pub placement_digest: u64,
 }
 
+/// Control-plane events: rare, globally coupled, main-thread only. The hot
+/// request lifecycle lives on the sharded data plane as [`Wire`] events.
 enum SimEvent {
-    /// The open-loop generator fires (and reschedules itself).
-    Arrival,
-    /// A request arrives at `peer` after a network hop (it still has to be
-    /// admitted through the peer's service queue).
-    Hop(InFlight),
-    /// The receiving peer's server gets to the request (post-queueing).
-    Serve(InFlight),
     /// One protocol round.
     Round,
     /// A scheduled churn event strikes.
@@ -189,6 +221,16 @@ enum SimEvent {
     RepairTick(u64),
 }
 
+/// A data-plane event, keyed in [`ArcQueues`] by `(time, request id)` and
+/// routed to the destination peer's arc.
+enum Wire {
+    /// A request arrives at `peer` after a network hop (it still has to be
+    /// admitted through the peer's service queue).
+    Hop(InFlight),
+    /// The receiving peer's server gets to the request (post-queueing).
+    Serve(InFlight),
+}
+
 struct InFlight {
     req: Request,
     peer: Ident,
@@ -204,8 +246,19 @@ pub struct TrafficSim {
     table: RoutingTable,
     space: IdSpace,
     gen: TrafficGen,
-    rng: SmallRng,
+    /// Control-plane future-event list (main thread).
     queue: EventQueue<SimEvent>,
+    /// Data-plane future-event lists, one heap per ring arc.
+    data: ArcQueues<Wire>,
+    /// Resolved arc count (`cfg.arcs`, or the auto default).
+    arcs: usize,
+    /// The next open-loop arrival instant, generated lazily so each batch
+    /// can stage exactly the arrivals that fall before its barrier.
+    next_arrival: Option<u64>,
+    /// Seed for all pure data-plane draws (latency, entry picks).
+    draw_seed: u64,
+    /// Data-plane events processed so far.
+    events_done: u64,
     /// Who stores what: the shared placement engine (replica sets, handoff,
     /// crash loss, incremental repair). Versions are put request ids.
     placement: PlacementMap<()>,
@@ -243,9 +296,7 @@ impl TrafficSim {
         for e in churn.events() {
             queue.push(e.at, SimEvent::Churn(e.event));
         }
-        if cfg.traffic_start <= cfg.traffic_end {
-            queue.push(cfg.traffic_start, SimEvent::Arrival);
-        }
+        let next_arrival = (cfg.traffic_start <= cfg.traffic_end).then_some(cfg.traffic_start);
         queue.push(cfg.round_every.max(1), SimEvent::Round);
         let mut placement = PlacementMap::from_peers(table.peers(), cfg.replication);
         placement.set_peer_capacity(cfg.max_keys_per_peer);
@@ -267,13 +318,21 @@ impl TrafficSim {
         {
             queue.push(Self::detector_period(&cfg), SimEvent::DetectorTick(1));
         }
+        // One pool-sizing knob for both planes: protocol rounds fan out
+        // across the same number of threads as the data-plane batches.
+        net.engine_mut().set_threads(cfg.workers.max(1));
+        let arcs = if cfg.arcs > 0 { cfg.arcs } else { cfg.workers.max(1) * 8 };
         TrafficSim {
             space: IdSpace::new(cfg.seed),
             gen: TrafficGen::new(cfg.traffic, cfg.seed),
-            rng: SmallRng::seed_from_u64(cfg.seed ^ 0x6c61_7465_6e63_7921),
+            draw_seed: cfg.seed ^ 0x6c61_7465_6e63_7921,
             pending_churn: churn.len(),
             placement,
             service: ServiceQueue::new(cfg.service_time),
+            data: ArcQueues::new(arcs),
+            arcs,
+            next_arrival,
+            events_done: 0,
             cfg,
             net,
             table,
@@ -310,22 +369,30 @@ impl TrafficSim {
 
     /// Seeds every key of the universe (version 0) onto its current replica
     /// set, acknowledged — so gets have something to find from tick one.
+    /// Bulk-loads the placement shards (sorted group construction instead
+    /// of per-key tree inserts), which is what makes 10M-key scenarios
+    /// load in seconds.
     pub fn preload(&mut self) {
-        for key in 1..=self.gen.config().key_universe {
-            self.placement.put(self.space.key_position(key), key, 0, ());
-            self.acked.insert(key);
-        }
+        let space = self.space;
+        let universe = self.gen.config().key_universe;
+        self.placement.bulk_load((1..=universe).map(|key| (space.key_position(key), key, 0, ())));
+        self.acked.extend(1..=universe);
     }
 
-    /// Runs the simulation to completion: the queue drains once traffic has
+    /// Runs the simulation to completion: the queues drain once traffic has
     /// ended, every request has resolved, all churn has struck, and the
     /// network has re-stabilized (or the round budget is exhausted).
+    ///
+    /// The loop alternates data-plane batches with single control events:
+    /// all data events strictly before the next control instant drain
+    /// (in parallel across arcs), then the control event fires on the main
+    /// thread with exclusive access to everything.
     pub fn run(mut self) -> SimReport {
-        while let Some((_, ev)) = self.queue.pop() {
+        loop {
+            let batch_end = self.queue.next_time().unwrap_or(u64::MAX);
+            self.run_data_batch(batch_end);
+            let Some((_, ev)) = self.queue.pop() else { break };
             match ev {
-                SimEvent::Arrival => self.on_arrival(),
-                SimEvent::Hop(f) => self.on_hop(f),
-                SimEvent::Serve(f) => self.advance(f),
                 SimEvent::Round => self.on_round(),
                 SimEvent::Churn(e) => self.on_churn(e),
                 SimEvent::SetHotKey(h) => self.gen.set_hot_key(h),
@@ -335,6 +402,7 @@ impl TrafficSim {
                 SimEvent::RepairTick(epoch) => self.on_repair_tick(epoch),
             }
         }
+        debug_assert!(self.data.is_empty(), "data plane drained at exit");
         let lost_keys = self
             .acked
             .iter()
@@ -348,36 +416,129 @@ impl TrafficSim {
             final_peers: self.net.len(),
             lost_keys,
             suspicions: self.detector.timeline().len(),
+            events: self.events_done,
+            placement_digest: self.placement.digest(),
         }
     }
 
-    // ---- event handlers ---------------------------------------------------
+    // ---- the sharded data plane -------------------------------------------
 
-    fn on_arrival(&mut self) {
-        let now = self.queue.now();
-        let req = self.gen.next_request(now);
-        let gap = self.gen.next_gap();
-        if now + gap <= self.cfg.traffic_end {
-            self.queue.push(now + gap, SimEvent::Arrival);
-        }
-        match self.pick_entry_peer() {
-            Some(via) => {
-                // Entering the system is an arrival at the entry peer: it
-                // pays the same service-queue admission a hop or retry does.
-                self.on_hop(InFlight { req, peer: via, cursor: via, hops: 0, retries: 0 });
+    /// Drains every data-plane event strictly before `batch_end`: stages
+    /// the open-loop arrivals that fall inside the batch, splits placement
+    /// and service state into disjoint per-arc columns, runs the workers
+    /// ([`shard::run_batch`]), and merges their buffered effects — outcome
+    /// records, fresh acks, holder-index rows — in canonical order. Every
+    /// step is a pure function of the simulator state, so the merged
+    /// result is bit-identical for any worker count.
+    fn run_data_batch(&mut self, batch_end: u64) {
+        // Stage arrivals due before the barrier. The generator runs on the
+        // main thread (its rng streams stay sequential); the entry pick is
+        // a pure draw so retries on workers share the same scheme.
+        let mut door: Vec<RequestOutcome> = Vec::new();
+        while let Some(at) = self.next_arrival {
+            if at >= batch_end {
+                break;
             }
-            None => self.sink.record(RequestOutcome {
-                id: req.id,
-                op: req.op,
-                key: req.key,
-                issued_at: now,
-                completed_at: now,
-                hops: 0,
-                retries: 0,
-                kind: OutcomeKind::Lost,
-            }),
+            let req = self.gen.next_request(at);
+            let gap = self.gen.next_gap();
+            self.next_arrival = (at + gap <= self.cfg.traffic_end).then_some(at + gap);
+            match pick_entry(self.table.peers(), &self.detector, at, self.draw_seed, req.id, 0) {
+                Some(via) => {
+                    // Entering the system is an arrival at the entry peer:
+                    // it pays the same service-queue admission a hop does.
+                    let f = InFlight { req, peer: via, cursor: via, hops: 0, retries: 0 };
+                    self.data.push_for(via.raw(), at, req.id, Wire::Hop(f));
+                }
+                None => door.push(RequestOutcome {
+                    id: req.id,
+                    op: req.op,
+                    key: req.key,
+                    issued_at: at,
+                    completed_at: at,
+                    hops: 0,
+                    retries: 0,
+                    kind: OutcomeKind::Lost,
+                }),
+            }
         }
+        if self.data.is_empty() {
+            for o in door {
+                self.sink.record(o);
+            }
+            return;
+        }
+        debug_assert_eq!(
+            self.table.peers(),
+            self.placement.peers(),
+            "routing table and placement map must agree on membership at every barrier"
+        );
+        let arcs = self.arcs;
+        let eff = shard::effective_workers(arcs, self.cfg.workers);
+        let ranges = shard::worker_ranges(arcs, eff);
+        let lookahead = self.cfg.latency.min_delay();
+        self.service.sync_peers(self.table.peers());
+
+        let TrafficSim {
+            cfg,
+            space,
+            table,
+            detector,
+            adversary,
+            acked,
+            placement,
+            service,
+            data,
+            draw_seed,
+            ..
+        } = self;
+        let (cfg, space, table, detector) = (&*cfg, &*space, &*table, &*detector);
+        let (adversary, acked, draw_seed) = (&**adversary, &*acked, *draw_seed);
+        let starts: Vec<u64> = ranges.iter().map(|r| arc_start(r.start, arcs)).collect();
+        let mut views = placement.arc_views(arcs).into_iter();
+        let slices = service.split(&starts);
+        let mut lanes: Vec<Lane<'_>> = Vec::with_capacity(eff);
+        for (range, slice) in ranges.iter().zip(slices) {
+            lanes.push(Lane {
+                cfg,
+                space,
+                table,
+                detector,
+                adversary,
+                acked,
+                arcs,
+                arc_lo: range.start,
+                views: views.by_ref().take(range.len()).collect(),
+                service: slice,
+                draw_seed,
+                new_acked: BTreeSet::new(),
+                outcomes: Vec::new(),
+            });
+        }
+        let (lanes, events) = shard::run_batch(data, lookahead, batch_end, lanes);
+
+        // Merge: lane buffers carry disjoint requests (outcomes) and
+        // commuting set insertions (acks, holder rows), so sorted
+        // concatenation reproduces the serial engine's record order.
+        let mut outcomes = door;
+        let mut fresh: Vec<u64> = Vec::new();
+        let mut held: Vec<(Ident, ShardKey)> = Vec::new();
+        for lane in lanes {
+            outcomes.extend(lane.outcomes);
+            fresh.extend(lane.new_acked);
+            for view in lane.views {
+                held.extend(view.into_held_adds());
+            }
+        }
+        placement.apply_held_adds(held);
+        self.acked.extend(fresh);
+        outcomes.sort_by_key(|o| (o.completed_at, o.id));
+        for o in outcomes {
+            self.sink.record(o);
+        }
+        self.events_done += events;
     }
+
+    // ---- control-plane event handlers -------------------------------------
 
     fn on_round(&mut self) {
         self.round_scheduled = false;
@@ -607,46 +768,127 @@ impl TrafficSim {
         }
     }
 
-    // ---- request lifecycle ------------------------------------------------
+    fn schedule_round(&mut self) {
+        self.queue.push(self.queue.now() + self.cfg.round_every.max(1), SimEvent::Round);
+        self.round_scheduled = true;
+    }
+}
+
+/// Entry-point choice as a pure draw keyed by `(request id, attempt)`:
+/// arrival staging on the main thread (attempt 0) and worker-side retries
+/// (attempt = the retry ordinal) share the scheme without sharing an rng,
+/// so the pick cannot depend on which thread asks or in what order.
+/// Clients avoid suspected entry points: the draw goes over the *filtered*
+/// list when any suspicion is active (never taken under the accurate
+/// default detector, keeping honest runs on the unfiltered stream).
+fn pick_entry(
+    peers: &[Ident],
+    detector: &FailureDetector,
+    now: u64,
+    draw_seed: u64,
+    req_id: u64,
+    attempt: u64,
+) -> Option<Ident> {
+    if peers.is_empty() {
+        return None;
+    }
+    let h = mix(&[draw_seed, ENTRY_TAG, req_id, attempt]);
+    if detector.has_active(now) {
+        let clear: Vec<Ident> =
+            peers.iter().copied().filter(|&p| !detector.is_suspected(p, now)).collect();
+        if !clear.is_empty() {
+            return Some(clear[(h % clear.len() as u64) as usize]);
+        }
+    }
+    Some(peers[(h % peers.len() as u64) as usize])
+}
+
+/// One worker's slice of the simulator for the duration of one batch:
+/// shared read-only control-plane state (routing table, detector,
+/// adversary map, acked set — all frozen between barriers) plus
+/// exclusively owned per-arc columns (placement views, service backlog).
+/// The request lifecycle runs here — the same logic the serial handlers
+/// historically ran, with every effect either arc-local or buffered for
+/// the deterministic barrier merge.
+struct Lane<'b> {
+    cfg: &'b WorkloadConfig,
+    space: &'b IdSpace,
+    table: &'b RoutingTable,
+    detector: &'b FailureDetector,
+    adversary: &'b AdversaryMap,
+    /// Acks from *earlier* batches (frozen); this batch's land in
+    /// `new_acked`.
+    acked: &'b BTreeSet<u64>,
+    arcs: usize,
+    /// First arc this lane owns; `views[arc - arc_lo]` is the arc's
+    /// placement window.
+    arc_lo: usize,
+    views: Vec<ArcView<'b, ()>>,
+    service: ServiceSlice<'b>,
+    draw_seed: u64,
+    /// Keys acked by puts completed in this batch. A get for a key always
+    /// lands on the same lane as the put that acked it (both complete at
+    /// the key's primary), so checking `acked ∪ new_acked` reproduces the
+    /// serial engine's view exactly.
+    new_acked: BTreeSet<u64>,
+    /// Outcome records buffered for the barrier merge.
+    outcomes: Vec<RequestOutcome>,
+}
+
+impl ShardHandler<Wire> for Lane<'_> {
+    fn handle(&mut self, time: u64, _id: u64, payload: Wire, out: &mut Outbox<Wire>) {
+        match payload {
+            Wire::Hop(f) => self.on_hop(time, f, out),
+            Wire::Serve(f) => self.advance(time, f, out),
+        }
+    }
+}
+
+impl Lane<'_> {
+    fn arc_of_peer(&self, peer: Ident) -> usize {
+        arc_of(peer.raw(), self.arcs)
+    }
 
     /// A hop lands at its receiving peer: admit it through the peer's
-    /// service queue. Hop events fire in virtual-time order, so admission is
-    /// FIFO in *arrival* order; a loaded peer parks the request until its
-    /// server gets to it (deterministic queueing delay).
-    fn on_hop(&mut self, f: InFlight) {
+    /// service queue. Hop events fire in canonical `(time, id)` order, so
+    /// admission is FIFO in *arrival* order; a loaded peer parks the
+    /// request until its server gets to it. The `Serve` completion stays
+    /// on the same peer — same arc, same lane — so it may legally land
+    /// inside the current lookahead window.
+    fn on_hop(&mut self, now: u64, f: InFlight, out: &mut Outbox<Wire>) {
         if self.table.knowledge_of(f.peer).is_none() {
             // The receiving peer died while the hop was in flight: nothing
             // is there to serve it (and its forgotten service queue must not
             // be resurrected) — bounce straight to the retry path.
-            return self.retry(f);
+            return self.retry(now, f, out);
         }
-        if self.detector.is_suspected(f.peer, self.queue.now()) {
+        if self.detector.is_suspected(f.peer, now) {
             // Live but suspected: the sender treats the silence as a crash
             // and re-enters elsewhere — the availability tax a false
             // suspicion (or a stalled heartbeat) levies on a healthy peer.
-            return self.retry(f);
+            return self.retry(now, f, out);
         }
-        let now = self.queue.now();
         let served_at = self.service.admit(f.peer, now);
         if served_at > now {
-            self.queue.push(served_at, SimEvent::Serve(f));
+            out.push(self.arc_of_peer(f.peer), served_at, f.req.id, Wire::Serve(f));
         } else {
-            self.advance(f);
+            self.advance(now, f, out);
         }
     }
 
     /// Drives a request from its current resident peer: free local steps
-    /// until the route either needs a network hop (scheduled with sampled
-    /// latency), completes, or gets stuck.
-    fn advance(&mut self, mut f: InFlight) {
+    /// until the route either needs a network hop (scheduled with a purely
+    /// keyed latency draw, `>= min_delay` — the window-safety bound),
+    /// completes, or gets stuck.
+    fn advance(&mut self, now: u64, mut f: InFlight, out: &mut Outbox<Wire>) {
         let key_pos = self.space.key_position(f.req.key);
         loop {
             if self.table.knowledge_of(f.peer).is_none() {
                 // The resident peer crashed while the request was in flight.
-                return self.retry(f);
+                return self.retry(now, f, out);
             }
-            match route_step(&self.table, f.peer, f.cursor, key_pos) {
-                HopDecision::Arrived => return self.complete(f, key_pos),
+            match route_step(self.table, f.peer, f.cursor, key_pos) {
+                HopDecision::Arrived => return self.complete(now, f, key_pos),
                 HopDecision::Next { peer, cursor } => {
                     if peer == f.peer {
                         f.cursor = cursor;
@@ -662,7 +904,7 @@ impl TrafficSim {
                                 if crimes.contains(Crime::DropForward) {
                                     // Silent drop: the client times out and
                                     // pays the full retry price.
-                                    return self.retry(f);
+                                    return self.retry(now, f, out);
                                 }
                                 if crimes.contains(Crime::MisrouteForward) {
                                     if let Some(worst) = self.worst_forward(f.peer, key_pos) {
@@ -683,7 +925,7 @@ impl TrafficSim {
                                     u64::from(f.hops),
                                 ];
                                 if chance(&coin, p) {
-                                    return self.retry(f);
+                                    return self.retry(now, f, out);
                                 }
                             }
                             Behavior::Honest => {}
@@ -692,24 +934,38 @@ impl TrafficSim {
                     f.cursor = next_cursor;
                     f.hops += 1;
                     if f.hops > self.cfg.hop_budget {
-                        return self.retry(f);
+                        return self.retry(now, f, out);
                     }
                     f.peer = next;
-                    let lat = self.cfg.latency.sample(&mut self.rng);
-                    let arrival = self.queue.now() + lat;
-                    return self.queue.push(arrival, SimEvent::Hop(f));
+                    let lat = self.hop_latency(&f);
+                    return out.push(self.arc_of_peer(f.peer), now + lat, f.req.id, Wire::Hop(f));
                 }
-                HopDecision::Stuck => return self.retry(f),
+                HopDecision::Stuck => return self.retry(now, f, out),
             }
         }
     }
 
-    fn retry(&mut self, mut f: InFlight) {
+    /// One purely keyed latency draw. `(request id, hops)` never repeats —
+    /// hops increments before every draw, across hops *and* retries — so
+    /// every draw is an independent sample of the latency law.
+    fn hop_latency(&self, f: &InFlight) -> u64 {
+        self.cfg.latency.sample_keyed(&[self.draw_seed, LAT_TAG, f.req.id, u64::from(f.hops)])
+    }
+
+    fn retry(&mut self, now: u64, mut f: InFlight, out: &mut Outbox<Wire>) {
         f.retries += 1;
         if f.retries > self.cfg.max_retries {
-            return self.finish(f, OutcomeKind::Lost);
+            return self.finish(now, f, OutcomeKind::Lost);
         }
-        match self.pick_entry_peer() {
+        let via = pick_entry(
+            self.table.peers(),
+            self.detector,
+            now,
+            self.draw_seed,
+            f.req.id,
+            u64::from(f.retries),
+        );
+        match via {
             Some(via) => {
                 f.peer = via;
                 f.cursor = via;
@@ -721,88 +977,72 @@ impl TrafficSim {
                 // under churn.)
                 f.hops += 1;
                 if f.hops > self.cfg.hop_budget {
-                    return self.finish(f, OutcomeKind::Lost);
+                    return self.finish(now, f, OutcomeKind::Lost);
                 }
-                let lat = self.cfg.latency.sample(&mut self.rng);
-                let at = self.queue.now() + self.cfg.retry_backoff + lat;
-                self.queue.push(at, SimEvent::Hop(f));
+                let lat = self.hop_latency(&f);
+                let at = now + self.cfg.retry_backoff + lat;
+                out.push(self.arc_of_peer(via), at, f.req.id, Wire::Hop(f));
             }
-            None => self.finish(f, OutcomeKind::Lost),
+            None => self.finish(now, f, OutcomeKind::Lost),
         }
     }
 
-    fn complete(&mut self, mut f: InFlight, key_pos: Ident) {
+    /// The request reached the responsible peer — which is exactly the
+    /// key's placement primary, so its shard lives in this lane's views
+    /// (the arc-locality invariant the whole partitioning rests on).
+    fn complete(&mut self, now: u64, mut f: InFlight, key_pos: Ident) {
+        let vi = self.arc_of_peer(f.peer) - self.arc_lo;
+        debug_assert!(vi < self.views.len(), "completion outside the lane's arc range");
         match f.req.op {
             Op::Put => {
-                self.placement.put(key_pos, f.req.key, f.req.id, ());
-                self.acked.insert(f.req.key);
-                self.finish(f, OutcomeKind::Success);
+                self.views[vi].put(key_pos, f.req.key, f.req.id, ());
+                self.new_acked.insert(f.req.key);
+                self.finish(now, f, OutcomeKind::Success);
             }
             Op::Get => {
-                let probe = self.placement.lookup(key_pos, f.req.key);
-                let kind =
-                    match probe.hit {
-                        Some((probes, _)) => {
-                            f.hops += probes as u32; // each successor probe is a hop
-                            if !self.adversary.is_all_honest()
-                                && self.placement.replica_set(key_pos).get(probes).is_some_and(
-                                    |&s| self.adversary.commits(s, Crime::StaleReadPoison),
-                                )
-                            {
-                                // The replica that answered holds the value but
-                                // serves a deliberately stale copy: the client
-                                // gets an answer — just the wrong one.
-                                OutcomeKind::Corrupted
-                            } else {
-                                OutcomeKind::Success
-                            }
+                let view = &self.views[vi];
+                let probe = view.lookup(key_pos, f.req.key);
+                let kind = match probe.hit {
+                    Some((probes, _)) => {
+                        f.hops += probes as u32; // each successor probe is a hop
+                        if !self.adversary.is_all_honest()
+                            && view
+                                .replica_set(key_pos)
+                                .get(probes)
+                                .is_some_and(|&s| self.adversary.commits(s, Crime::StaleReadPoison))
+                        {
+                            // The replica that answered holds the value but
+                            // serves a deliberately stale copy: the client
+                            // gets an answer — just the wrong one.
+                            OutcomeKind::Corrupted
+                        } else {
+                            OutcomeKind::Success
                         }
-                        None if self.acked.contains(&f.req.key) => {
-                            f.hops += (probe.replicas as u32).saturating_sub(1);
-                            OutcomeKind::StaleRead
-                        }
-                        None => OutcomeKind::Success, // clean empty read: key never written
-                    };
-                self.finish(f, kind);
+                    }
+                    None if self.acked.contains(&f.req.key)
+                        || self.new_acked.contains(&f.req.key) =>
+                    {
+                        f.hops += (probe.replicas as u32).saturating_sub(1);
+                        OutcomeKind::StaleRead
+                    }
+                    None => OutcomeKind::Success, // clean empty read: key never written
+                };
+                self.finish(now, f, kind);
             }
         }
     }
 
-    fn finish(&mut self, f: InFlight, kind: OutcomeKind) {
-        self.sink.record(RequestOutcome {
+    fn finish(&mut self, now: u64, f: InFlight, kind: OutcomeKind) {
+        self.outcomes.push(RequestOutcome {
             id: f.req.id,
             op: f.req.op,
             key: f.req.key,
             issued_at: f.req.issued_at,
-            completed_at: self.queue.now(),
+            completed_at: now,
             hops: f.hops,
             retries: f.retries,
             kind,
         });
-    }
-
-    // ---- helpers ----------------------------------------------------------
-    // (All placement arithmetic — replica sets, handoff, repair — lives in
-    // the shared `rechord_placement` engine; nothing is duplicated here.)
-
-    fn pick_entry_peer(&mut self) -> Option<Ident> {
-        let peers = self.table.peers();
-        if peers.is_empty() {
-            return None;
-        }
-        let now = self.queue.now();
-        if self.detector.has_active(now) {
-            // Clients avoid suspected entry points. Drawing over the
-            // *filtered* list (rather than rejection-sampling the full one)
-            // keeps the RNG stream honest-parity safe: this branch is never
-            // taken when no suspicion is active.
-            let clear: Vec<Ident> =
-                peers.iter().copied().filter(|&p| !self.detector.is_suspected(p, now)).collect();
-            if !clear.is_empty() {
-                return Some(clear[self.rng.gen_range(0..clear.len())]);
-            }
-        }
-        Some(peers[self.rng.gen_range(0..peers.len())])
     }
 
     /// The misrouter's pick: among everything `from` knows, the live peer
@@ -816,11 +1056,6 @@ impl TrafficSim {
             .map(|r| r.owner)
             .filter(|&p| p != from && self.table.knowledge_of(p).is_some())
             .max_by_key(|&p| (p.dist_cw(key_pos), p))
-    }
-
-    fn schedule_round(&mut self) {
-        self.queue.push(self.queue.now() + self.cfg.round_every.max(1), SimEvent::Round);
-        self.round_scheduled = true;
     }
 }
 
@@ -859,6 +1094,7 @@ mod tests {
         assert!(report.stable_at_end);
         assert!(report.summary.p50 > 0, "hops cost virtual time");
         assert!(report.summary.p99 >= report.summary.p50);
+        assert!(report.events > report.summary.total as u64, "every request takes >= 1 data event");
     }
 
     #[test]
@@ -874,6 +1110,33 @@ mod tests {
             (r.sink.trace(), format!("{}", r.summary), r.rounds)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn worker_and_arc_knobs_never_change_the_trace() {
+        // The headline determinism contract, smoke-sized: any worker and
+        // arc count — serial, more workers than arcs, one arc, prime
+        // splits — produces byte-identical traces, summaries, and event
+        // counts. The full-size sweep lives in tests/shard_parity.rs.
+        let run = |workers: usize, arcs: usize| {
+            let mut cfg = steady_cfg(13);
+            cfg.workers = workers;
+            cfg.arcs = arcs;
+            cfg.service_time = 3;
+            let mut sim = TrafficSim::new(
+                cfg,
+                stable_net(12, 13),
+                &TimedChurnPlan::storm(4, 0.5, 500, 200, 7),
+            );
+            sim.preload();
+            let r = sim.run();
+            (r.sink.trace(), format!("{}", r.summary), r.rounds, r.events)
+        };
+        let serial = run(1, 0);
+        assert_eq!(serial, run(2, 0), "two workers, auto arcs");
+        assert_eq!(serial, run(4, 64), "four workers, explicit arcs");
+        assert_eq!(serial, run(3, 1), "one arc clamps to the serial drain");
+        assert_eq!(serial, run(8, 5), "more workers than arcs");
     }
 
     #[test]
@@ -923,7 +1186,7 @@ mod tests {
 
     #[test]
     fn peerless_network_records_every_request_lost() {
-        // A genuinely peer-less network: `pick_entry_peer()` has nowhere to
+        // A genuinely peer-less network: `pick_entry` has nowhere to
         // inject, so every arrival must be recorded `Lost` — never dropped
         // silently, never panicking.
         let topo = rechord_topology::TopologyKind::SortedLine.generate(0, 1);
@@ -964,12 +1227,15 @@ mod tests {
         sim.service.forget(victim);
         sim.table.remove_peer(victim);
 
-        // A hop dispatched before the crash lands now.
-        let queued_before = sim.queue.len();
+        // A hop dispatched before the crash lands now: stage it on the
+        // data plane and drain one single-instant batch.
         let req = Request { id: 900, op: Op::Get, key: 3, issued_at: 0 };
-        sim.on_hop(InFlight { req, peer: victim, cursor: victim, hops: 1, retries: 0 });
-        assert_eq!(sim.service.backlog_of(victim, 0), 0, "guard must not resurrect the queue");
-        assert_eq!(sim.queue.len(), queued_before + 1, "the request went to the retry path");
+        let f = InFlight { req, peer: victim, cursor: victim, hops: 1, retries: 0 };
+        sim.next_arrival = None; // no organic traffic in this surgical batch
+        sim.data.push_for(victim.raw(), 0, req.id, Wire::Hop(f));
+        sim.run_data_batch(1);
+        assert_eq!(sim.service.backlog_of(victim, 1), 0, "guard must not resurrect the queue");
+        assert_eq!(sim.data.len(), 1, "the request went to the retry path");
     }
 
     #[test]
@@ -981,22 +1247,19 @@ mod tests {
         cfg.retry_backoff = 40;
         let mut sim = TrafficSim::new(cfg, stable_net(8, 33), &TimedChurnPlan::default());
         sim.preload();
-        let entry = sim.table.peers()[1];
+        // Kill a peer so a staged hop bounces straight to the retry path.
+        let gone = sim.table.peers()[1];
+        sim.placement.apply_leave(gone, Departure::Crash);
+        sim.table.remove_peer(gone);
         let req = Request { id: 901, op: Op::Get, key: 5, issued_at: 0 };
-        let queued_before = sim.queue.len();
-        sim.retry(InFlight { req, peer: entry, cursor: entry, hops: 2, retries: 0 });
-        assert_eq!(sim.queue.len(), queued_before + 1);
-        // Drain to the retry hop we just queued and inspect its charge.
-        let mut found = None;
-        while let Some((at, ev)) = sim.queue.pop() {
-            if let SimEvent::Hop(f) = ev {
-                if f.req.id == 901 {
-                    found = Some((at, f));
-                    break;
-                }
-            }
-        }
-        let (at, f) = found.expect("the retry hop is in the queue");
+        let f = InFlight { req, peer: gone, cursor: gone, hops: 2, retries: 0 };
+        sim.next_arrival = None;
+        sim.data.push_for(gone.raw(), 0, req.id, Wire::Hop(f));
+        sim.run_data_batch(1);
+        // The retry hop is the only event left on the data plane.
+        let (at, id, wire) = sim.data.pop_min().expect("the retry hop is queued");
+        assert_eq!(id, 901);
+        let Wire::Hop(f) = wire else { panic!("expected a hop event") };
         assert_eq!(f.retries, 1);
         assert_eq!(f.hops, 3, "re-entry counts as a hop");
         assert!(
@@ -1319,7 +1582,7 @@ mod tests {
     fn inert_adversary_config_is_trace_identical_to_honest() {
         // Declaring a fraction with an *empty* crime set corrupts nobody:
         // the run must be byte-for-byte the honest simulator — no policy
-        // map installed, no RNG draw consumed, no event reordered.
+        // map installed, no draw key changed, no event reordered.
         let run = |cfg: WorkloadConfig| {
             let mut sim = TrafficSim::new(
                 cfg,

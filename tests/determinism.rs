@@ -152,6 +152,47 @@ fn adversarial_runs_are_bit_identical() {
 }
 
 #[test]
+fn golden_traces_replay_across_data_plane_worker_counts() {
+    // The sharded data plane joins the reproducibility contract: a golden
+    // trace captured on the serial drain (workers = 1) replays byte for
+    // byte when the same scenario runs on scoped worker threads — at
+    // whatever parallelism the host offers *and* at a fixed count larger
+    // than most hosts, honest and fraction-0 adversarial alike.
+    let run = |workers: usize, adversary: AdversaryConfig| {
+        let (net, report) = ReChordNetwork::bootstrap_stable(16, 0xA5, 1, 100_000);
+        assert!(report.converged);
+        let cfg = WorkloadConfig {
+            seed: 0xA5,
+            traffic_end: 5_000,
+            workers,
+            adversary,
+            ..Default::default()
+        };
+        let plan = TimedChurnPlan::storm(6, 0.5, 1_000, 300, 0xA5);
+        let mut sim = TrafficSim::new(cfg, net, &plan);
+        sim.preload();
+        let r = sim.run();
+        (r.sink.trace(), r.summary.to_string(), r.rounds, r.events, r.placement_digest)
+    };
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let golden = run(1, AdversaryConfig::default());
+    assert!(!golden.0.is_empty(), "the golden run produced a trace");
+    assert_eq!(golden, run(cpus, AdversaryConfig::default()), "workers=num_cpus ({cpus})");
+    assert_eq!(golden, run(6, AdversaryConfig::default()), "workers=6");
+
+    // Fraction 0 with named crimes corrupts nobody: its golden trace is
+    // the honest one, and it replays across worker counts the same way.
+    let inert = AdversaryConfig {
+        fraction: 0.0,
+        crimes: CrimeSet::single(Crime::DropForward).with(Crime::StaleReadPoison),
+        ..Default::default()
+    };
+    assert_eq!(golden, run(1, inert), "fraction 0 is the honest simulator");
+    assert_eq!(golden, run(cpus.max(3), inert), "adversarial replay off the serial golden");
+}
+
+#[test]
 fn generator_determinism_feeds_through() {
     // Same seed → same topology → same stabilization → same metrics.
     let m1 = {

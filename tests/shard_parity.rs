@@ -1,0 +1,136 @@
+//! Integration: the sharded data plane is an implementation detail.
+//!
+//! `WorkloadConfig::workers` spawns real scoped threads that drain per-arc
+//! event heaps between epoch barriers; `WorkloadConfig::arcs` controls how
+//! the ring is partitioned under them. Neither knob may change a single
+//! byte of output: per-request traces, metric summaries, round counts,
+//! event counts, and the final placement digest must be identical at
+//! 1, 2, 4, and 8 workers — on a million-key store, across the sweep's
+//! smoke grid, and with live byzantine peers corrupting the run.
+
+use rechord::core::network::ReChordNetwork;
+use rechord::core::{Crime, CrimeSet};
+use rechord::topology::TimedChurnPlan;
+use rechord::workload::{
+    AdversaryConfig, DetectorConfig, TrafficConfig, TrafficSim, WorkloadConfig,
+};
+
+/// The pinned grid: serial baseline, an even split, more workers than the
+/// box has cores (threads are real either way), and a count that exceeds
+/// several arc choices (clamped internally).
+const WORKER_GRID: [usize; 4] = [1, 2, 4, 8];
+
+/// Everything a run externalizes. The trace is the full per-request log
+/// (one line per outcome: id, key, op, timings, hops, retries, kind), so
+/// equality here is byte-equality of the simulator's entire output.
+type Fingerprint = (String, String, u64, usize, u64, u64);
+
+fn fingerprint(
+    cfg: WorkloadConfig,
+    plan: &TimedChurnPlan,
+    peers: usize,
+    preload: bool,
+) -> Fingerprint {
+    let (net, report) = ReChordNetwork::bootstrap_stable(peers, cfg.seed, 1, 100_000);
+    assert!(report.converged);
+    let mut sim = TrafficSim::new(cfg, net, plan);
+    if preload {
+        sim.preload();
+    }
+    let r = sim.run();
+    (r.sink.trace(), r.summary.to_string(), r.rounds, r.final_peers, r.events, r.placement_digest)
+}
+
+fn assert_grid_invariant(
+    mut cfg: WorkloadConfig,
+    plan: &TimedChurnPlan,
+    peers: usize,
+    preload: bool,
+) {
+    cfg.workers = 1;
+    let serial = fingerprint(cfg, plan, peers, preload);
+    assert!(!serial.0.is_empty(), "the scenario produced traffic");
+    for workers in &WORKER_GRID[1..] {
+        cfg.workers = *workers;
+        cfg.arcs = 0; // auto: 8 arcs per worker — each count picks a different partition
+        assert_eq!(serial, fingerprint(cfg, plan, peers, preload), "workers={workers} diverged");
+    }
+    // An explicitly awkward partition: arc count prime and smaller than
+    // the worker count, so ranges are uneven and some workers idle.
+    cfg.workers = 8;
+    cfg.arcs = 5;
+    assert_eq!(serial, fingerprint(cfg, plan, peers, preload), "workers=8/arcs=5 diverged");
+}
+
+#[test]
+fn million_key_store_is_worker_count_invariant() {
+    // A preloaded 1M-key placement (the bulk-load fast path) under storm
+    // churn: repair deltas, staleness windows, and per-key completions all
+    // flow through the sharded views — and the final placement digest over
+    // all million records matches the serial run exactly.
+    let cfg = WorkloadConfig {
+        seed: 0xA1_1C_E5,
+        traffic: TrafficConfig {
+            mean_interarrival: 2.0,
+            key_universe: 1_000_000,
+            ..Default::default()
+        },
+        traffic_end: 3_000,
+        replication: 2,
+        service_time: 2,
+        ..Default::default()
+    };
+    let plan = TimedChurnPlan::storm(5, 0.5, 800, 300, 0xA1_1C_E5);
+    assert_grid_invariant(cfg, &plan, 20, true);
+}
+
+#[test]
+fn sweep_smoke_grid_is_worker_count_invariant() {
+    // The sweep bench's smoke-sized grid: several network sizes, finite
+    // service capacity, paced repair. Every cell must be worker-invariant,
+    // not just one lucky configuration.
+    for (peers, seed) in [(5usize, 0x5E_ED_05u64), (15, 0x5E_ED_15), (25, 0x5E_ED_25)] {
+        let cfg = WorkloadConfig {
+            seed,
+            traffic: TrafficConfig {
+                mean_interarrival: 10.0,
+                key_universe: 256,
+                ..Default::default()
+            },
+            traffic_end: 4_000,
+            replication: 2,
+            service_time: 2,
+            repair_bandwidth: 4,
+            ..Default::default()
+        };
+        let plan = TimedChurnPlan::storm(3, 0.5, 1_000, 400, seed);
+        assert_grid_invariant(cfg, &plan, peers, true);
+    }
+}
+
+#[test]
+fn adversarial_runs_are_worker_count_invariant() {
+    // Live byzantine peers (fraction > 0): dropped and misrouted forwards,
+    // poisoned reads, stalled heartbeats driving the failure detector. All
+    // adversarial coins are keyed hashes of stable request state, so the
+    // crimes land on the same hops at any worker count.
+    let cfg = WorkloadConfig {
+        seed: 0xBAD_F00D,
+        traffic: TrafficConfig { mean_interarrival: 8.0, key_universe: 512, ..Default::default() },
+        traffic_end: 6_000,
+        replication: 2,
+        service_time: 2,
+        adversary: AdversaryConfig {
+            fraction: 0.25,
+            crimes: CrimeSet::single(Crime::DropForward)
+                .with(Crime::MisrouteForward)
+                .with(Crime::StaleReadPoison)
+                .with(Crime::StallHeartbeats),
+            ..Default::default()
+        },
+        detector: DetectorConfig { suspect_for: 300, ..Default::default() },
+        ..Default::default()
+    };
+    let plan = TimedChurnPlan::storm(4, 0.5, 1_500, 400, 0xBAD_F00D);
+    assert_grid_invariant(cfg, &plan, 16, true);
+}
