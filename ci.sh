@@ -69,6 +69,16 @@ run cargo run --release --offline --bin shard -- --smoke
 #     the delta-vs-rebuild proptests must hold.
 run cargo test -q --release --offline -p rechord_placement
 
+# 3h. The real-process cluster smoke: build the `node` binary (a bin of a
+#     dependency crate, so `cargo run --bin cluster` alone won't), then
+#     spawn a 3-process TCP loopback cluster and serve a 10k-RPC get/put
+#     workload — per-RPC results asserted identical across the direct-call
+#     oracle, the in-memory cluster, and the TCP processes, availability
+#     exactly 1.0, orderly shutdown. Bounded by timeout in case a process
+#     wedges.
+run cargo build --release --offline -p rechord_net --bin node
+run timeout 600 cargo run --release --offline --bin cluster -- --smoke
+
 # 4. Rustdoc must build warning-free (broken intra-doc links are bugs).
 RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace --offline
 

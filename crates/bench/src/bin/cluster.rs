@@ -1,0 +1,392 @@
+//! The transport subsystem's end-to-end bench: the same seeded get/put
+//! workload served three ways — by the direct-call `KvStore` oracle, by an
+//! in-memory loopback cluster (one OS thread per node), and by real node
+//! *processes* over TCP — with every per-RPC result asserted identical
+//! before a single number is reported.
+//!
+//! The three runs share one `TrafficGen` stream, one key-hashing seed, and
+//! one deterministic entry-peer sequence (`mix(seed, rpc) % n`), so the
+//! routed hops, responsible peers, and returned values must agree RPC for
+//! RPC. The bench *is* the parity test; the timings it then writes
+//! (`BENCH_cluster.json` at the root, `results/cluster_smoke.json` under
+//! `--smoke`) measure what the wire costs relative to a function call.
+//!
+//! The TCP leg spawns `node` binaries from this executable's directory —
+//! build them first (`cargo build --release -p rechord_net --bin node`, as
+//! ci.sh does); the bench fails with a pointed message otherwise.
+
+use rechord_analysis::Table;
+use rechord_core::network::ReChordNetwork;
+use rechord_id::{IdSpace, Ident};
+use rechord_net::{ClusterClient, ClusterConfig, RpcResult, ThreadedCluster, Transport};
+use rechord_net::{PeerAddr, TcpTransport};
+use rechord_routing::{KvStore, RoutingTable};
+use rechord_topology::TopologyKind;
+use rechord_workload::{Op, Request, TrafficConfig, TrafficGen};
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 0xc1;
+const NODES: usize = 3;
+const REPLICATION: usize = 2;
+const MAX_ROUNDS: u64 = 200_000;
+
+/// The put payload is a pure function of the request, so every backend
+/// writes (and the oracle expects) the same bytes.
+fn put_value(req: &Request) -> String {
+    format!("v{}-{}", req.id, req.key)
+}
+
+/// The shared request stream: every backend replays exactly these.
+fn workload(rpcs: usize) -> Vec<Request> {
+    let cfg = TrafficConfig {
+        mean_interarrival: 1.0,
+        key_universe: 256,
+        zipf_exponent: 0.9,
+        put_fraction: 0.1,
+        hot_key: None,
+    };
+    let mut gen = TrafficGen::new(cfg, SEED);
+    (0..rpcs as u64).map(|k| gen.next_request(k)).collect()
+}
+
+/// Timing + latency distribution of one backend's run.
+struct BackendStat {
+    name: &'static str,
+    wall_ms: f64,
+    rpcs_per_sec: f64,
+    mean_us: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn stat_of(name: &'static str, wall: Duration, mut lat_us: Vec<f64>) -> BackendStat {
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    BackendStat {
+        name,
+        wall_ms,
+        rpcs_per_sec: lat_us.len() as f64 / wall.as_secs_f64(),
+        mean_us: lat_us.iter().sum::<f64>() / lat_us.len() as f64,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+    }
+}
+
+/// The direct-call oracle: stabilize the same topology in the engine, then
+/// replay the stream against `KvStore`, mirroring the client's rpc ids
+/// (request index + 1) and entry peers.
+fn oracle_run(cfg: &ClusterConfig, requests: &[Request]) -> (Vec<RpcResult>, BackendStat) {
+    let mut net = ReChordNetwork::from_topology(&cfg.topology, 1);
+    let report = net.run_until_stable(cfg.max_rounds);
+    assert!(report.converged, "oracle overlay must stabilize");
+    let table = RoutingTable::from_network(&net);
+    let space = IdSpace::new(cfg.space_seed);
+    let mut kv = KvStore::with_replication(table, space, cfg.replication);
+
+    let roster = cfg.topology.ids.clone();
+    let entry = |rpc: u64| {
+        roster[(rechord_core::adversary::mix(&[cfg.space_seed, rpc]) as usize) % roster.len()]
+    };
+
+    let mut results = Vec::with_capacity(requests.len());
+    let mut lat = Vec::with_capacity(requests.len());
+    let t0 = Instant::now();
+    for req in requests {
+        let rpc = req.id + 1; // client rpc ids are 1-based
+        let via = entry(rpc);
+        let t = Instant::now();
+        let r = match req.op {
+            Op::Put => {
+                let out = kv.put(via, req.key, put_value(req)).expect("roster is non-empty");
+                RpcResult {
+                    rpc,
+                    ok: out.routed,
+                    hops: out.hops as u32,
+                    responsible: out.responsible,
+                    value: None,
+                }
+            }
+            Op::Get => {
+                let (value, out) = kv.get(via, req.key).expect("roster is non-empty");
+                RpcResult {
+                    rpc,
+                    ok: out.routed,
+                    hops: out.hops as u32,
+                    responsible: out.responsible,
+                    value: value.map(str::to_string),
+                }
+            }
+        };
+        lat.push(t.elapsed().as_secs_f64() * 1e6);
+        results.push(r);
+    }
+    (results, stat_of("oracle", t0.elapsed(), lat))
+}
+
+/// Drives the shared stream through a connected, serving client.
+fn drive<T: Transport>(
+    name: &'static str,
+    client: &mut ClusterClient<T>,
+    requests: &[Request],
+) -> (Vec<RpcResult>, BackendStat) {
+    let mut results = Vec::with_capacity(requests.len());
+    let mut lat = Vec::with_capacity(requests.len());
+    let t0 = Instant::now();
+    for req in requests {
+        let t = Instant::now();
+        let r = match req.op {
+            Op::Put => client.put(req.key, put_value(req)),
+            Op::Get => client.get(req.key),
+        }
+        .unwrap_or_else(|e| panic!("{name}: rpc {} ({:?}) failed: {e}", req.id + 1, req.op));
+        lat.push(t.elapsed().as_secs_f64() * 1e6);
+        results.push(r);
+    }
+    (results, stat_of(name, t0.elapsed(), lat))
+}
+
+/// In-memory loopback cluster: one thread per node on one fabric.
+fn inmem_run(cfg: &ClusterConfig, requests: &[Request]) -> (Vec<RpcResult>, BackendStat) {
+    let cluster = ThreadedCluster::launch(cfg);
+    let client_id = Ident::from_raw(u64::MAX); // ids are random draws; no collision here
+    let transport = cluster.client_endpoint(client_id);
+    let mut client = ClusterClient::new(
+        transport,
+        cluster.roster().to_vec(),
+        cfg.space_seed,
+        Duration::from_secs(30),
+    );
+    assert!(
+        client.wait_serving(Duration::from_secs(120)).expect("ping poll"),
+        "in-mem cluster must reach serving"
+    );
+    let out = drive("inmem", &mut client, requests);
+    client.shutdown_all().expect("shutdown");
+    let reports = cluster.join().expect("node threads");
+    assert!(reports.iter().all(|r| r.converged), "every in-mem node must converge");
+    out
+}
+
+/// Reserves `n` distinct loopback ports by binding and immediately
+/// releasing port-0 listeners. The window between release and the child's
+/// bind is the standard (benign on an otherwise-idle loopback) race.
+fn free_ports(n: usize) -> Vec<SocketAddr> {
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port")).collect();
+    listeners.iter().map(|l| l.local_addr().expect("local addr")).collect()
+}
+
+/// Kills every child on drop, so a panicked assertion cannot leak node
+/// processes past the bench.
+struct Reaper(Vec<Child>);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        for child in &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Real processes over TCP: spawn one `node` binary per peer, connect a
+/// TCP client, replay the stream, shut the processes down cleanly.
+fn tcp_run(cfg: &ClusterConfig, requests: &[Request]) -> (Vec<RpcResult>, BackendStat) {
+    let node_bin = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .join(format!("node{}", std::env::consts::EXE_SUFFIX));
+    assert!(
+        node_bin.exists(),
+        "node binary missing at {} — run `cargo build --release -p rechord_net --bin node` first",
+        node_bin.display()
+    );
+
+    let addrs = free_ports(cfg.topology.ids.len());
+    let roster_arg = cfg
+        .topology
+        .ids
+        .iter()
+        .zip(&addrs)
+        .map(|(id, addr)| format!("{}@{addr}", id.raw()))
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let mut children = Reaper(Vec::new());
+    for (i, &id) in cfg.topology.ids.iter().enumerate() {
+        let contacts = cfg
+            .topology
+            .contacts_of(id)
+            .iter()
+            .map(|c| c.raw().to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let child = Command::new(&node_bin)
+            .args(["--ident", &id.raw().to_string()])
+            .args(["--listen", &addrs[i].to_string()])
+            .args(["--roster", &roster_arg])
+            .args(["--contacts", &contacts])
+            .args(["--seed", &cfg.space_seed.to_string()])
+            .args(["--replication", &cfg.replication.to_string()])
+            .args(["--max-rounds", &cfg.max_rounds.to_string()])
+            .stdout(Stdio::inherit())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn node process");
+        children.0.push(child);
+    }
+
+    let client_id = Ident::from_raw(u64::MAX);
+    let mut transport =
+        TcpTransport::bind(client_id, "127.0.0.1:0".parse().unwrap()).expect("bind client");
+    for (id, addr) in cfg.topology.ids.iter().zip(&addrs) {
+        transport.connect(*id, &PeerAddr::Socket(*addr)).expect("dial node");
+    }
+    let mut client = ClusterClient::new(
+        transport,
+        cfg.topology.ids.clone(),
+        cfg.space_seed,
+        Duration::from_secs(30),
+    );
+    assert!(
+        client.wait_serving(Duration::from_secs(120)).expect("ping poll"),
+        "TCP cluster must reach serving"
+    );
+    let out = drive("tcp", &mut client, requests);
+    client.shutdown_all().expect("shutdown");
+    for child in &mut children.0 {
+        let status = child.wait().expect("wait node");
+        assert!(status.success(), "node process exited nonzero: {status}");
+    }
+    children.0.clear();
+    out
+}
+
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.1}")
+    } else {
+        "null".into()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &std::path::Path,
+    mode: &str,
+    nodes: usize,
+    rpcs: usize,
+    puts: usize,
+    availability: f64,
+    mean_hops: f64,
+    stats: &[BackendStat],
+) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"cluster\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"nodes\": {nodes},\n"));
+    out.push_str(&format!("  \"rpcs\": {rpcs},\n"));
+    out.push_str(&format!("  \"puts\": {puts},\n"));
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"availability\": {availability:.4},\n"));
+    out.push_str(&format!("  \"mean_hops\": {mean_hops:.3},\n"));
+    out.push_str(
+        "  \"parity\": \"per-RPC (ok, hops, responsible, value) identical across the \
+         direct-call oracle, the in-memory cluster, and the TCP process cluster\",\n",
+    );
+    out.push_str("  \"backends\": [\n");
+    for (i, s) in stats.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {}, \"rpcs_per_sec\": {}, \
+             \"latency_mean_us\": {}, \"latency_p50_us\": {}, \"latency_p99_us\": {}}}{}\n",
+            s.name,
+            json_number(s.wall_ms),
+            json_number(s.rpcs_per_sec),
+            json_number(s.mean_us),
+            json_number(s.p50_us),
+            json_number(s.p99_us),
+            if i + 1 < stats.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(path, out).expect("write bench json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rpcs = if smoke { 10_000 } else { 30_000 };
+    println!(
+        "cluster bench: {NODES} nodes, {rpcs} RPCs, seed {SEED:#x}{}",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let cfg = ClusterConfig {
+        topology: TopologyKind::Random.generate(NODES, SEED),
+        space_seed: SEED,
+        replication: REPLICATION,
+        max_rounds: MAX_ROUNDS,
+    };
+    let requests = workload(rpcs);
+    let puts = requests.iter().filter(|r| r.op == Op::Put).count();
+
+    let (oracle, oracle_stat) = oracle_run(&cfg, &requests);
+    println!("  oracle: {:.0} rpc/s", oracle_stat.rpcs_per_sec);
+    let (inmem, inmem_stat) = inmem_run(&cfg, &requests);
+    println!("  inmem:  {:.0} rpc/s", inmem_stat.rpcs_per_sec);
+    let (tcp, tcp_stat) = tcp_run(&cfg, &requests);
+    println!("  tcp:    {:.0} rpc/s", tcp_stat.rpcs_per_sec);
+
+    // The claim of the subsystem, checked result-by-result: the wire
+    // changes the cost of an RPC, never its answer.
+    for (i, (o, m)) in oracle.iter().zip(&inmem).enumerate() {
+        assert_eq!(o, m, "in-mem diverged from the oracle at rpc {}", i + 1);
+    }
+    for (i, (m, t)) in inmem.iter().zip(&tcp).enumerate() {
+        assert_eq!(m, t, "TCP diverged from in-mem at rpc {}", i + 1);
+    }
+    let served_ok = oracle.iter().filter(|r| r.ok).count();
+    let availability = served_ok as f64 / oracle.len() as f64;
+    assert_eq!(availability, 1.0, "a stable cluster must serve every RPC");
+    let mean_hops = oracle.iter().map(|r| r.hops as f64).sum::<f64>() / oracle.len() as f64;
+
+    let stats = [oracle_stat, inmem_stat, tcp_stat];
+    let mut table = Table::new(&["backend", "wall_ms", "rpc/s", "mean_us", "p50_us", "p99_us"]);
+    for s in &stats {
+        table.row(&[
+            s.name.to_string(),
+            format!("{:.0}", s.wall_ms),
+            format!("{:.0}", s.rpcs_per_sec),
+            format!("{:.1}", s.mean_us),
+            format!("{:.1}", s.p50_us),
+            format!("{:.1}", s.p99_us),
+        ]);
+    }
+    table.print();
+
+    let path = if smoke {
+        rechord_bench::results_dir().join("cluster_smoke.json")
+    } else {
+        std::path::PathBuf::from("BENCH_cluster.json")
+    };
+    write_json(
+        &path,
+        if smoke { "smoke" } else { "full" },
+        NODES,
+        rpcs,
+        puts,
+        availability,
+        mean_hops,
+        &stats,
+    );
+    println!("cluster: {rpcs} RPCs byte-identical across oracle, in-mem, and TCP");
+}

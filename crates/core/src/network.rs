@@ -181,19 +181,7 @@ impl ReChordNetwork {
 
     /// Flattens the current global state into an [`OverlayGraph`].
     pub fn snapshot(&self) -> OverlayGraph {
-        let mut g = OverlayGraph::new();
-        for (id, st) in self.engine.iter() {
-            for (&lvl, vs) in &st.levels {
-                let from = PeerState::node_ref(id, lvl);
-                g.add_node(from);
-                for kind in EdgeKind::ALL {
-                    for &to in vs.of(kind) {
-                        g.add_edge(Edge { from, to, kind });
-                    }
-                }
-            }
-        }
-        g
+        snapshot_states(self.engine.iter())
     }
 
     /// Positions of all *simulated* virtual nodes.
@@ -236,6 +224,28 @@ impl ReChordNetwork {
     pub fn engine_mut(&mut self) -> &mut Engine<ReChordProtocol> {
         &mut self.engine
     }
+}
+
+/// Materializes the overlay graph of an arbitrary collection of peer
+/// states — the body of [`ReChordNetwork::snapshot`], exposed so drivers
+/// that hold states outside an engine (e.g. the transport layer collecting
+/// them from real processes) produce byte-identical snapshots.
+pub fn snapshot_states<'a>(
+    states: impl IntoIterator<Item = (Ident, &'a PeerState)>,
+) -> OverlayGraph {
+    let mut g = OverlayGraph::new();
+    for (id, st) in states {
+        for (&lvl, vs) in &st.levels {
+            let from = PeerState::node_ref(id, lvl);
+            g.add_node(from);
+            for kind in EdgeKind::ALL {
+                for &to in vs.of(kind) {
+                    g.add_edge(Edge { from, to, kind });
+                }
+            }
+        }
+    }
+    g
 }
 
 #[cfg(test)]

@@ -1,0 +1,125 @@
+//! `node` — one Re-Chord peer as a real process over TCP.
+//!
+//! ```text
+//! node --ident 42 --listen 127.0.0.1:7101 \
+//!      --roster 42@127.0.0.1:7101,99@127.0.0.1:7102,7@127.0.0.1:7103 \
+//!      --contacts 99,7 --seed 3 --replication 2 [--max-rounds 200000]
+//! ```
+//!
+//! The process binds its listen address, dials every other roster peer
+//! (retrying with backoff while they come up), runs Re-Chord rounds to the
+//! global fixpoint, gossips its successor list, and then serves get/put/
+//! lookup RPCs until an orderly `Shutdown` frame arrives — at which point
+//! it prints its final counters to stdout and exits 0. Any protocol or
+//! transport failure exits nonzero with a diagnostic on stderr.
+
+use rechord_id::Ident;
+use rechord_net::{NodeConfig, NodePeer, PeerAddr, TcpTransport, Transport};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+struct Args {
+    me: Ident,
+    listen: SocketAddr,
+    roster: BTreeMap<Ident, SocketAddr>,
+    contacts: Vec<Ident>,
+    seed: u64,
+    replication: usize,
+    max_rounds: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: node --ident <u64> --listen <host:port> \
+         --roster <id@host:port,...> [--contacts <id,...>] \
+         [--seed <u64>] [--replication <n>] [--max-rounds <n>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut me = None;
+    let mut listen = None;
+    let mut roster: BTreeMap<Ident, SocketAddr> = BTreeMap::new();
+    let mut contacts = Vec::new();
+    let mut seed = 0u64;
+    let mut replication = 1usize;
+    let mut max_rounds = 200_000u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        match flag.as_str() {
+            "--ident" => me = value.parse().ok().map(Ident::from_raw),
+            "--listen" => listen = value.parse().ok(),
+            "--roster" => {
+                for entry in value.split(',').filter(|s| !s.is_empty()) {
+                    let Some((id, addr)) = entry.split_once('@') else { usage() };
+                    let (Ok(id), Ok(addr)) = (id.parse::<u64>(), addr.parse()) else { usage() };
+                    roster.insert(Ident::from_raw(id), addr);
+                }
+            }
+            "--contacts" => {
+                for id in value.split(',').filter(|s| !s.is_empty()) {
+                    let Ok(id) = id.parse::<u64>() else { usage() };
+                    contacts.push(Ident::from_raw(id));
+                }
+            }
+            "--seed" => seed = value.parse().unwrap_or_else(|_| usage()),
+            "--replication" => replication = value.parse().unwrap_or_else(|_| usage()),
+            "--max-rounds" => max_rounds = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let (Some(me), Some(listen)) = (me, listen) else { usage() };
+    if !roster.contains_key(&me) {
+        eprintln!("node: --roster must include --ident");
+        std::process::exit(2);
+    }
+    Args { me, listen, roster, contacts, seed, replication, max_rounds }
+}
+
+fn main() {
+    let args = parse_args();
+
+    let mut transport = match TcpTransport::bind(args.me, args.listen) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("node {}: bind {} failed: {e}", args.me, args.listen);
+            std::process::exit(1);
+        }
+    };
+    for (&peer, &addr) in args.roster.iter().filter(|(&p, _)| p != args.me) {
+        if let Err(e) = transport.connect(peer, &PeerAddr::Socket(addr)) {
+            eprintln!("node {}: dialing {peer} at {addr} failed: {e}", args.me);
+            std::process::exit(1);
+        }
+    }
+
+    let cfg = NodeConfig {
+        me: args.me,
+        roster: args.roster.keys().copied().collect(),
+        contacts: args.contacts,
+        space_seed: args.seed,
+        replication: args.replication,
+        max_rounds: args.max_rounds,
+    };
+    match NodePeer::new(transport, cfg).run(Duration::from_millis(5)) {
+        Ok(report) => {
+            println!(
+                "node {} done: rounds={} converged={} delivered={} dropped={} served={}",
+                args.me,
+                report.rounds,
+                report.converged,
+                report.delivered,
+                report.dropped,
+                report.served
+            );
+        }
+        Err(e) => {
+            eprintln!("node {}: {e}", args.me);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The client side of the data plane: a closed-loop RPC issuer over any
+//! [`Transport`].
+//!
+//! The client participates in the cluster as one more identifier-addressed
+//! actor: it connects to every node, waits until all of them report
+//! `serving` (via ping polling), then issues get/put/lookup RPCs
+//! sequentially — each request waits for its reply before the next one is
+//! sent, so versions assigned by the client form the same monotone write
+//! stream `KvStore` numbers internally, and results are comparable RPC
+//! for RPC against the direct-call oracle.
+//!
+//! The entry peer of each RPC is drawn deterministically from the request
+//! id (`mix(seed, rpc) % n`), so the in-memory run, the TCP run, and the
+//! oracle replay all route from the same peer.
+
+use crate::message::NetMsg;
+use crate::transport::{NetError, Transport};
+use rechord_core::adversary::mix;
+use rechord_id::Ident;
+use std::time::{Duration, Instant};
+
+/// Outcome of one client RPC, aligned field-for-field with what the
+/// direct-call `KvStore` oracle reports (`LookupOutcome` plus the value).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RpcResult {
+    /// Request id.
+    pub rpc: u64,
+    /// Did routing reach the responsible peer?
+    pub ok: bool,
+    /// Overlay hops, probe misses included.
+    pub hops: u32,
+    /// The responsible peer.
+    pub responsible: Ident,
+    /// The value (gets that hit).
+    pub value: Option<String>,
+}
+
+/// A closed-loop RPC client bound to a transport endpoint.
+pub struct ClusterClient<T: Transport> {
+    transport: T,
+    roster: Vec<Ident>,
+    entry_seed: u64,
+    next_rpc: u64,
+    puts_issued: u64,
+    reply_deadline: Duration,
+}
+
+impl<T: Transport> ClusterClient<T> {
+    /// A client talking to `roster` (sorted internally). `entry_seed`
+    /// fixes the entry-peer sequence; `reply_deadline` bounds each wait.
+    pub fn new(
+        transport: T,
+        roster: Vec<Ident>,
+        entry_seed: u64,
+        reply_deadline: Duration,
+    ) -> Self {
+        let mut roster = roster;
+        roster.sort_unstable();
+        roster.dedup();
+        ClusterClient { transport, roster, entry_seed, next_rpc: 0, puts_issued: 0, reply_deadline }
+    }
+
+    /// The transport underneath (e.g. to connect to peers before use).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// The entry peer for a request id — deterministic, uniform over the
+    /// roster, identical across backends and the oracle replay.
+    pub fn entry_peer(&self, rpc: u64) -> Ident {
+        self.roster[(mix(&[self.entry_seed, rpc]) as usize) % self.roster.len()]
+    }
+
+    /// Polls every node with pings until all report `serving`, or the
+    /// deadline passes. Returns whether the cluster is ready.
+    pub fn wait_serving(&mut self, deadline: Duration) -> Result<bool, NetError> {
+        let until = Instant::now() + deadline;
+        'poll: loop {
+            if Instant::now() >= until {
+                return Ok(false);
+            }
+            for &peer in &self.roster.clone() {
+                self.transport.send(peer, NetMsg::Ping)?;
+                match self.recv_filtered(Duration::from_secs(5))? {
+                    Some(NetMsg::Pong { serving: true }) => {}
+                    _ => {
+                        std::thread::sleep(Duration::from_millis(20));
+                        continue 'poll;
+                    }
+                }
+            }
+            return Ok(true);
+        }
+    }
+
+    /// Issues a get and waits for the reply.
+    pub fn get(&mut self, key: u64) -> Result<RpcResult, NetError> {
+        let rpc = self.fresh_rpc();
+        let entry = self.entry_peer(rpc);
+        self.transport.send(entry, NetMsg::GetReq { rpc, key })?;
+        self.await_reply(rpc)
+    }
+
+    /// Issues a put (the client assigns the next monotone version) and
+    /// waits for the reply.
+    pub fn put(&mut self, key: u64, value: impl Into<String>) -> Result<RpcResult, NetError> {
+        let rpc = self.fresh_rpc();
+        let entry = self.entry_peer(rpc);
+        self.puts_issued += 1;
+        let version = self.puts_issued;
+        self.transport.send(entry, NetMsg::PutReq { rpc, key, value: value.into(), version })?;
+        self.await_reply(rpc)
+    }
+
+    /// Resolves the responsible peer for a key without touching the store.
+    pub fn lookup(&mut self, key: u64) -> Result<RpcResult, NetError> {
+        let rpc = self.fresh_rpc();
+        let entry = self.entry_peer(rpc);
+        self.transport.send(entry, NetMsg::LookupReq { rpc, key })?;
+        self.await_reply(rpc)
+    }
+
+    /// Asks one node for its final counters.
+    pub fn stats_of(&mut self, peer: Ident) -> Result<NetMsg, NetError> {
+        self.transport.send(peer, NetMsg::StatsReq)?;
+        let until = Instant::now() + self.reply_deadline;
+        loop {
+            let left = until.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(NetError::Timeout);
+            }
+            if let (got_from, msg @ NetMsg::Stats { .. }) = self.transport.recv(Some(left))? {
+                if got_from == peer {
+                    return Ok(msg);
+                }
+            }
+        }
+    }
+
+    /// Sends an orderly shutdown to every node.
+    pub fn shutdown_all(&mut self) -> Result<(), NetError> {
+        for &peer in &self.roster.clone() {
+            self.transport.send(peer, NetMsg::Shutdown)?;
+        }
+        Ok(())
+    }
+
+    /// Puts issued so far (the client-side mirror of the oracle's write
+    /// counter while availability is 1.0).
+    pub fn puts_issued(&self) -> u64 {
+        self.puts_issued
+    }
+
+    fn fresh_rpc(&mut self) -> u64 {
+        self.next_rpc += 1;
+        self.next_rpc
+    }
+
+    /// Receives one message, dropping anything that is not a reply-like
+    /// answer (stray pongs from overlapping ping polls are harmless).
+    fn recv_filtered(&mut self, deadline: Duration) -> Result<Option<NetMsg>, NetError> {
+        match self.transport.recv(Some(deadline)) {
+            Ok((_, msg)) => Ok(Some(msg)),
+            Err(NetError::Timeout) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Waits for the reply correlated to `rpc`, skipping stale messages.
+    fn await_reply(&mut self, rpc: u64) -> Result<RpcResult, NetError> {
+        let until = Instant::now() + self.reply_deadline;
+        loop {
+            let left = until.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(NetError::Timeout);
+            }
+            let (_, msg) = self.transport.recv(Some(left))?;
+            if let NetMsg::Reply { rpc: got, ok, hops, responsible, value } = msg {
+                if got == rpc {
+                    return Ok(RpcResult { rpc, ok, hops, responsible, value });
+                }
+            }
+        }
+    }
+}

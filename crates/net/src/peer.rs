@@ -1,0 +1,491 @@
+//! One Re-Chord peer as a cluster actor: stabilization, gossip, and
+//! data-plane serving over any [`Transport`].
+//!
+//! A [`NodePeer`] lives through three phases:
+//!
+//! 1. **Stabilize** — run protocol rounds through [`RoundSync`] until the
+//!    global fixpoint, reproducing the direct-call engine bit for bit.
+//! 2. **Gossip** — broadcast the successor list read out of the converged
+//!    state and cross-check every peer's list against the shared roster.
+//!    Only when all lists verify does the peer flip to `serving`; a
+//!    stabilization that produced a wrong ring would be caught here, so
+//!    the gossip is load-bearing, not decorative.
+//! 3. **Serve** — answer get/put/lookup RPCs with recursive greedy
+//!    routing: each hop is one [`route_step`] against the peer's *local*
+//!    routing view ([`RoutingTable::local_view`]), forwarded peer to peer
+//!    until the responsible peer replies straight to the client. The hop
+//!    and probe accounting mirrors [`rechord_routing::KvStore`] exactly,
+//!    which the cluster bench pins (`TCP ≡ in-mem ≡ direct-call oracle`).
+
+use crate::message::{ForwardedRpc, NetMsg, RpcOp};
+use crate::sync::{RoundSync, StepOutcome};
+use crate::transport::{NetError, Transport};
+use rechord_core::protocol::ReChordProtocol;
+use rechord_core::state::PeerState;
+use rechord_graph::NodeRef;
+use rechord_id::{IdSpace, Ident};
+use rechord_routing::{route_step, HopDecision, RoutingTable};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// Route-step budget per RPC, carried across forwards — the same `2 * 64`
+/// bound [`rechord_routing::route`] applies to its internal fold.
+const ROUTE_STEP_BUDGET: u32 = 2 * 64;
+
+/// Successor-list length gossiped after stabilization.
+const GOSSIP_SUCCESSORS: usize = 3;
+
+/// Static configuration of one node process.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// This peer's identifier.
+    pub me: Ident,
+    /// Every peer in the cluster (must include `me`).
+    pub roster: Vec<Ident>,
+    /// Initial knowledge: the out-contacts seeded into `N_u(u_0)`,
+    /// matching `InitialTopology::contacts_of`.
+    pub contacts: Vec<Ident>,
+    /// Seed of the [`IdSpace`] hashing application keys onto the ring
+    /// (shared by every actor, including the client and the oracle).
+    pub space_seed: u64,
+    /// Replica-set width for puts (clamped to at least 1).
+    pub replication: usize,
+    /// Stabilization round cap; exceeding it is a run failure.
+    pub max_rounds: u64,
+}
+
+/// Final counters of one node, reported over [`NetMsg::Stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeReport {
+    /// Protocol rounds executed.
+    pub rounds: u64,
+    /// Did the node observe the global fixpoint?
+    pub converged: bool,
+    /// Protocol messages delivered locally (this node's share of the
+    /// engine's `total_messages`).
+    pub delivered: u64,
+    /// Protocol messages addressed outside the roster.
+    pub dropped: u64,
+    /// Data-plane RPCs this node answered as responsible peer.
+    pub served: u64,
+}
+
+/// What a message told the driver to do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// Keep running.
+    Continue,
+    /// An orderly [`NetMsg::Shutdown`] arrived.
+    Shutdown,
+}
+
+/// One Re-Chord peer bound to a transport endpoint.
+pub struct NodePeer<T: Transport> {
+    transport: T,
+    cfg: NodeConfig,
+    sync: RoundSync<ReChordProtocol>,
+    space: IdSpace,
+    /// Local routing view, built once from the converged state.
+    table: Option<RoutingTable>,
+    /// Replicated key-value shard: `key → (version, value)`.
+    store: BTreeMap<u64, (u64, String)>,
+    gossip_sent: bool,
+    /// Peers whose gossiped successor list verified against the roster.
+    gossip_ok: BTreeSet<Ident>,
+    serving: bool,
+    served: u64,
+}
+
+impl<T: Transport> NodePeer<T> {
+    /// A peer over `transport` (already connected to the roster), seeded
+    /// with the initial contacts of `cfg`.
+    pub fn new(transport: T, cfg: NodeConfig) -> Self {
+        let initial = PeerState::with_contacts(cfg.contacts.iter().map(|&c| NodeRef::real(c)));
+        let sync = RoundSync::new(ReChordProtocol::full(), cfg.me, cfg.roster.clone(), initial);
+        let space = IdSpace::new(cfg.space_seed);
+        NodePeer {
+            transport,
+            cfg,
+            sync,
+            space,
+            table: None,
+            store: BTreeMap::new(),
+            gossip_sent: false,
+            gossip_ok: BTreeSet::new(),
+            serving: false,
+            served: 0,
+        }
+    }
+
+    /// This peer's identifier.
+    pub fn me(&self) -> Ident {
+        self.cfg.me
+    }
+
+    /// The converged protocol state (the live state before convergence).
+    pub fn state(&self) -> &PeerState {
+        self.sync.state()
+    }
+
+    /// `Some(rounds)` once the global fixpoint was observed.
+    pub fn converged(&self) -> Option<u64> {
+        self.sync.converged()
+    }
+
+    /// Ready to answer data-plane RPCs?
+    pub fn serving(&self) -> bool {
+        self.serving
+    }
+
+    /// Protocol rounds executed so far.
+    pub fn executed(&self) -> u64 {
+        self.sync.executed()
+    }
+
+    /// Per-round local accounting (see [`crate::sync::NetRoundStats`]).
+    pub fn trace(&self) -> &[crate::sync::NetRoundStats] {
+        self.sync.trace()
+    }
+
+    /// Final counters for reports and [`NetMsg::Stats`].
+    pub fn report(&self) -> NodeReport {
+        let (delivered, dropped) = self
+            .sync
+            .trace()
+            .iter()
+            .fold((0u64, 0u64), |(d, x), s| (d + s.delivered as u64, x + s.dropped as u64));
+        NodeReport {
+            rounds: self.sync.executed(),
+            converged: self.sync.converged().is_some(),
+            delivered,
+            dropped,
+            served: self.served,
+        }
+    }
+
+    /// The other roster peers, ascending.
+    fn others(&self) -> Vec<Ident> {
+        self.sync.roster().iter().copied().filter(|&p| p != self.cfg.me).collect()
+    }
+
+    /// This peer's roster successor (cyclic). `None` for a singleton.
+    fn roster_successor_of(&self, peer: Ident) -> Option<Ident> {
+        let roster = self.sync.roster();
+        if roster.len() < 2 {
+            return None;
+        }
+        let i = roster.binary_search(&peer).ok()?;
+        Some(roster[(i + 1) % roster.len()])
+    }
+
+    /// Successor list read out of the local protocol state: known real
+    /// nodes ordered by clockwise distance. In a correctly stabilized
+    /// state, the head is the roster successor — which every receiver
+    /// checks.
+    fn successor_list(&self) -> Vec<Ident> {
+        let me = self.cfg.me;
+        let mut reals: Vec<Ident> = self
+            .state()
+            .levels
+            .values()
+            .flat_map(|vs| vs.all_targets())
+            .filter(|t| t.is_real() && t.owner != me)
+            .map(|t| t.owner)
+            .collect();
+        reals.sort_unstable_by_key(|&p| me.dist_cw(p));
+        reals.dedup();
+        reals.truncate(GOSSIP_SUCCESSORS);
+        reals
+    }
+
+    /// The replica set for a ring position, mirroring
+    /// `PlacementMap::replica_set`: the cyclic successor of `pos` in the
+    /// roster plus the following `replication - 1` peers, clamped.
+    fn replica_set(&self, pos: Ident) -> Vec<Ident> {
+        let roster = self.sync.roster();
+        let n = roster.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let start = match roster.binary_search(&pos) {
+            Ok(i) => i,
+            Err(i) if i < n => i,
+            Err(_) => 0,
+        };
+        let r = self.cfg.replication.max(1).min(n);
+        (0..r).map(|k| roster[(start + k) % n]).collect()
+    }
+
+    /// Drives the BSP state machine: announces when a cycle opens, steps
+    /// when the snapshot completes, finishes when the batches complete,
+    /// and transitions to gossip once converged. Call after every handled
+    /// message and on idle.
+    pub fn tick(&mut self) -> Result<(), NetError> {
+        if self.sync.converged().is_none() {
+            if let Some((round, state)) = self.sync.announce() {
+                for peer in self.others() {
+                    self.transport
+                        .send(peer, NetMsg::StateSync { round, state: Box::new(state.clone()) })?;
+                }
+            }
+            match self.sync.try_step() {
+                StepOutcome::Pending => {}
+                StepOutcome::Batches(batches) => {
+                    let round = self.sync.executed();
+                    for (peer, msgs) in batches {
+                        self.transport.send(peer, NetMsg::RoundMsgs { round, msgs })?;
+                    }
+                }
+                StepOutcome::Converged { .. } => {}
+            }
+            self.sync.try_finish();
+            if self.sync.converged().is_none() && self.sync.executed() >= self.cfg.max_rounds {
+                return Err(NetError::Io(format!(
+                    "no fixpoint within {} rounds",
+                    self.cfg.max_rounds
+                )));
+            }
+        }
+        if self.sync.converged().is_some() && !self.gossip_sent {
+            self.table =
+                Some(RoutingTable::local_view(self.cfg.me, self.sync.state(), self.sync.roster()));
+            let successors = self.successor_list();
+            for peer in self.others() {
+                self.transport
+                    .send(peer, NetMsg::GossipSuccessors { successors: successors.clone() })?;
+            }
+            self.gossip_sent = true;
+            self.update_serving();
+        }
+        Ok(())
+    }
+
+    /// Re-evaluates the serving gate: converged, own successor list agrees
+    /// with the roster, and every other peer's gossip verified.
+    fn update_serving(&mut self) {
+        if self.sync.converged().is_none() {
+            return;
+        }
+        let own_ok = match self.roster_successor_of(self.cfg.me) {
+            None => true, // singleton cluster
+            Some(succ) => self.successor_list().first() == Some(&succ),
+        };
+        let all_gossip = self.gossip_ok.len() == self.others().len();
+        self.serving = own_ok && all_gossip;
+    }
+
+    /// Handles one inbound message. Returns [`Control::Shutdown`] on an
+    /// orderly shutdown request.
+    pub fn handle(&mut self, from: Ident, msg: NetMsg) -> Result<Control, NetError> {
+        match msg {
+            NetMsg::Hello { .. } => {} // transport-level; nothing protocol to do
+            NetMsg::StateSync { round, state } => {
+                self.sync.on_state(from, round, *state).map_err(|e| NetError::Io(e.to_string()))?;
+            }
+            NetMsg::RoundMsgs { round, msgs } => {
+                self.sync.on_msgs(from, round, msgs).map_err(|e| NetError::Io(e.to_string()))?;
+            }
+            NetMsg::GossipSuccessors { successors } => {
+                // Load-bearing check: the gossiped head must be the
+                // sender's roster successor, or the overlay ring and the
+                // placement ring disagree and serving would corrupt data.
+                let expect = self.roster_successor_of(from);
+                if expect.is_none() || successors.first() == expect.as_ref() {
+                    self.gossip_ok.insert(from);
+                } else {
+                    self.gossip_ok.remove(&from);
+                }
+                self.update_serving();
+            }
+            NetMsg::Ping => {
+                self.transport.send(from, NetMsg::Pong { serving: self.serving })?;
+            }
+            NetMsg::Pong { .. } => {} // peers don't poll each other; ignore
+            NetMsg::GetReq { rpc, key } => {
+                self.start_rpc(from, rpc, RpcOp::Get, key, String::new(), 0)?;
+            }
+            NetMsg::PutReq { rpc, key, value, version } => {
+                self.start_rpc(from, rpc, RpcOp::Put, key, value, version)?;
+            }
+            NetMsg::LookupReq { rpc, key } => {
+                self.start_rpc(from, rpc, RpcOp::Lookup, key, String::new(), 0)?;
+            }
+            NetMsg::Forward(fwd) => {
+                self.advance_rpc(*fwd)?;
+            }
+            NetMsg::ReplicaPut { key, version, value, .. } => {
+                let newer = self.store.get(&key).is_none_or(|(v, _)| version >= *v);
+                if newer {
+                    self.store.insert(key, (version, value));
+                }
+            }
+            NetMsg::Reply { .. } => {} // client-side message; ignore
+            NetMsg::StatsReq => {
+                let r = self.report();
+                self.transport.send(
+                    from,
+                    NetMsg::Stats {
+                        rounds: r.rounds,
+                        converged: r.converged,
+                        delivered: r.delivered,
+                        dropped: r.dropped,
+                        served: r.served,
+                    },
+                )?;
+            }
+            NetMsg::Shutdown => return Ok(Control::Shutdown),
+            NetMsg::Stats { .. } => {} // client-side message; ignore
+        }
+        Ok(Control::Continue)
+    }
+
+    /// Entry point of an RPC at this peer: wrap it into a routed envelope
+    /// with the cursor at our own position (exactly how `route` starts its
+    /// fold) and advance it.
+    fn start_rpc(
+        &mut self,
+        client: Ident,
+        rpc: u64,
+        op: RpcOp,
+        key: u64,
+        value: String,
+        version: u64,
+    ) -> Result<(), NetError> {
+        let fwd = ForwardedRpc {
+            rpc,
+            client,
+            op,
+            key,
+            value,
+            version,
+            cursor: self.cfg.me,
+            hops: 0,
+            steps: 0,
+        };
+        self.advance_rpc(fwd)
+    }
+
+    /// Runs [`route_step`] against the local view until the request either
+    /// arrives here (serve + reply), moves to another peer (forward), gets
+    /// stuck, or exhausts the shared step budget — the distributed replay
+    /// of `route`'s fold, decision for decision.
+    fn advance_rpc(&mut self, mut fwd: ForwardedRpc) -> Result<(), NetError> {
+        let Some(table) = self.table.as_ref() else {
+            // Not yet stabilized: refuse rather than route on a half-built
+            // ring (clients gate on Pong{serving} so this is a protocol
+            // violation, answered gracefully).
+            return self.reply(fwd, false, None);
+        };
+        let pos = self.space.key_position(fwd.key);
+        loop {
+            if fwd.steps >= ROUTE_STEP_BUDGET {
+                return self.reply(fwd, false, None);
+            }
+            match route_step(table, self.cfg.me, fwd.cursor, pos) {
+                HopDecision::Arrived => return self.serve(fwd, pos),
+                HopDecision::Next { peer, cursor } => {
+                    fwd.steps += 1;
+                    fwd.cursor = cursor;
+                    if peer != self.cfg.me {
+                        fwd.hops += 1;
+                        return self.transport.send(peer, NetMsg::Forward(Box::new(fwd)));
+                    }
+                    // else: a free local step through our own virtual nodes
+                }
+                HopDecision::Stuck => return self.reply(fwd, false, None),
+            }
+        }
+    }
+
+    /// The responsible peer answers: store access plus the probe-hop
+    /// accounting of `KvStore::{get, put}`.
+    fn serve(&mut self, mut fwd: ForwardedRpc, pos: Ident) -> Result<(), NetError> {
+        self.served += 1;
+        match fwd.op {
+            RpcOp::Lookup => {
+                let f = fwd;
+                self.reply(f, true, None)
+            }
+            RpcOp::Put => {
+                let newer = self.store.get(&fwd.key).is_none_or(|(v, _)| fwd.version >= *v);
+                if newer {
+                    self.store.insert(fwd.key, (fwd.version, fwd.value.clone()));
+                }
+                for replica in self.replica_set(pos).into_iter().skip(1) {
+                    self.transport.send(
+                        replica,
+                        NetMsg::ReplicaPut {
+                            pos,
+                            key: fwd.key,
+                            version: fwd.version,
+                            value: fwd.value.clone(),
+                        },
+                    )?;
+                }
+                self.reply(fwd, true, None)
+            }
+            RpcOp::Get => match self.store.get(&fwd.key) {
+                // Hit at the primary: zero probe misses, as in the oracle's
+                // static-placement lookup.
+                Some((_, value)) => {
+                    let value = value.clone();
+                    self.reply(fwd, true, Some(value))
+                }
+                // Absent: the oracle charges the whole replica window.
+                None => {
+                    fwd.hops += self.replica_set(pos).len() as u32;
+                    self.reply(fwd, true, None)
+                }
+            },
+        }
+    }
+
+    /// Terminal answer, straight to the client that issued the RPC.
+    fn reply(
+        &mut self,
+        fwd: ForwardedRpc,
+        ok: bool,
+        value: Option<String>,
+    ) -> Result<(), NetError> {
+        let responsible = self
+            .table
+            .as_ref()
+            .and_then(|t| t.responsible_for(self.space.key_position(fwd.key)))
+            .unwrap_or(self.cfg.me);
+        self.transport.send(
+            fwd.client,
+            NetMsg::Reply { rpc: fwd.rpc, ok, hops: fwd.hops, responsible, value },
+        )
+    }
+
+    /// Non-blocking pump: tick, then drain and handle everything pending,
+    /// ticking after each message. For deterministic in-process drivers.
+    pub fn pump(&mut self) -> Result<Control, NetError> {
+        self.tick()?;
+        while let Some((from, msg)) = self.transport.try_recv()? {
+            if self.handle(from, msg)? == Control::Shutdown {
+                return Ok(Control::Shutdown);
+            }
+            self.tick()?;
+        }
+        Ok(Control::Continue)
+    }
+
+    /// Blocking main loop for a node process: tick, wait up to `poll` for
+    /// a message, handle it, repeat — until an orderly shutdown. Returns
+    /// the final counters.
+    pub fn run(mut self, poll: Duration) -> Result<NodeReport, NetError> {
+        loop {
+            self.tick()?;
+            match self.transport.recv(Some(poll)) {
+                Ok((from, msg)) => {
+                    if self.handle(from, msg)? == Control::Shutdown {
+                        return Ok(self.report());
+                    }
+                }
+                Err(NetError::Timeout) => {} // idle: loop and tick again
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The socket backend: [`NetMsg`] frames over `std::net` TCP.
+//!
+//! Lifecycle: an actor `bind`s a listener (an accept thread runs for the
+//! transport's lifetime), then `connect`s to the peers it wants to dial —
+//! each dial retries with linear backoff until the attempt budget runs
+//! out, sends a [`NetMsg::Hello`] so the acceptor knows who arrived, and
+//! spawns a reader thread that decodes frames into one shared inbox
+//! channel. Accepted connections are identified by their leading `Hello`
+//! and their write halves are registered too, so an actor can reply to
+//! someone who dialed *it* (how server peers answer a dial-only client).
+//!
+//! Per pair, exactly one stream is ever used for sending (first
+//! registered wins), so the FIFO guarantee of the [`Transport`] contract
+//! reduces to TCP's own in-order delivery. A send onto a broken stream
+//! triggers one reconnect/backoff cycle for dialed peers before
+//! surfacing [`NetError::Unreachable`].
+
+use crate::message::NetMsg;
+use crate::transport::{NetError, PeerAddr, Transport};
+use crate::wire::{check_header, HEADER_LEN};
+use rechord_id::Ident;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Dial attempts before a connect gives up.
+const DIAL_ATTEMPTS: u32 = 60;
+/// Base backoff between dial attempts (linear: `attempt * base`, capped).
+const DIAL_BACKOFF: Duration = Duration::from_millis(50);
+/// Backoff cap so a long outage doesn't grow unbounded sleeps.
+const DIAL_BACKOFF_CAP: Duration = Duration::from_millis(500);
+
+type WriteMap = Arc<Mutex<BTreeMap<Ident, TcpStream>>>;
+
+/// Reads frames off `stream` and pushes decoded messages, tagged with
+/// `from`, into the shared inbox until EOF or a wire/socket error.
+fn reader_loop(from: Ident, mut stream: TcpStream, inbox: mpsc::Sender<(Ident, NetMsg)>) {
+    loop {
+        let mut header = [0u8; HEADER_LEN];
+        if stream.read_exact(&mut header).is_err() {
+            return; // EOF or reset: the peer hung up
+        }
+        let len = match check_header(&header) {
+            Ok(len) => len as usize,
+            Err(_) => return, // corrupt stream: drop the connection
+        };
+        let mut payload = vec![0u8; len];
+        if stream.read_exact(&mut payload).is_err() {
+            return;
+        }
+        match NetMsg::decode(&payload) {
+            Ok(msg) => {
+                if inbox.send((from, msg)).is_err() {
+                    return; // transport dropped
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one accepted connection: the first frame must be a `Hello`
+/// identifying the dialer; the write half is then registered (unless a
+/// stream for that peer already exists) and the reader loop takes over.
+fn accept_conn(stream: TcpStream, writes: WriteMap, inbox: mpsc::Sender<(Ident, NetMsg)>) {
+    let mut s = stream;
+    let mut header = [0u8; HEADER_LEN];
+    if s.read_exact(&mut header).is_err() {
+        return;
+    }
+    let Ok(len) = check_header(&header) else { return };
+    let mut payload = vec![0u8; len as usize];
+    if s.read_exact(&mut payload).is_err() {
+        return;
+    }
+    let Ok(NetMsg::Hello { from }) = NetMsg::decode(&payload) else { return };
+    let _ = s.set_nodelay(true); // RPC frames, not bulk: Nagle only adds latency
+    if let Ok(clone) = s.try_clone() {
+        // First registered stream wins: if we also dialed this peer, the
+        // existing entry keeps sends on one stream (FIFO per pair).
+        writes.lock().expect("write map lock").entry(from).or_insert(clone);
+    }
+    reader_loop(from, s, inbox);
+}
+
+/// The TCP transport endpoint of one cluster actor.
+pub struct TcpTransport {
+    me: Ident,
+    local_addr: SocketAddr,
+    writes: WriteMap,
+    dialed: BTreeMap<Ident, SocketAddr>,
+    inbox: mpsc::Receiver<(Ident, NetMsg)>,
+    inbox_tx: mpsc::Sender<(Ident, NetMsg)>,
+}
+
+impl TcpTransport {
+    /// Binds `listen` (use port 0 for an OS-assigned port) and starts the
+    /// accept thread.
+    pub fn bind(me: Ident, listen: SocketAddr) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(listen)?;
+        let local_addr = listener.local_addr()?;
+        let writes: WriteMap = Arc::default();
+        let (inbox_tx, inbox) = mpsc::channel();
+        let (w, tx) = (Arc::clone(&writes), inbox_tx.clone());
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                let (w, tx) = (Arc::clone(&w), tx.clone());
+                std::thread::spawn(move || accept_conn(stream, w, tx));
+            }
+        });
+        Ok(TcpTransport { me, local_addr, writes, dialed: BTreeMap::new(), inbox, inbox_tx })
+    }
+
+    /// The bound listen address (with the OS-assigned port filled in).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// One dial cycle: connect with linear backoff, introduce ourselves,
+    /// register the write half, and start a reader for the responses the
+    /// peer will send back down this stream.
+    fn dial(&mut self, peer: Ident, addr: SocketAddr) -> Result<(), NetError> {
+        let mut last_err = NetError::Unreachable(peer);
+        for attempt in 1..=DIAL_ATTEMPTS {
+            match TcpStream::connect(addr) {
+                Ok(mut stream) => {
+                    let _ = stream.set_nodelay(true);
+                    stream.write_all(&NetMsg::Hello { from: self.me }.to_frame())?;
+                    let clone = stream.try_clone()?;
+                    let tx = self.inbox_tx.clone();
+                    std::thread::spawn(move || reader_loop(peer, stream, tx));
+                    // A fresh dial replaces any stale stream: the old one
+                    // is the reason we are reconnecting.
+                    self.writes.lock().expect("write map lock").insert(peer, clone);
+                    self.dialed.insert(peer, addr);
+                    return Ok(());
+                }
+                Err(e) => {
+                    last_err = NetError::Io(e.to_string());
+                    std::thread::sleep((DIAL_BACKOFF * attempt).min(DIAL_BACKOFF_CAP));
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    fn write_frame(&self, to: Ident, frame: &[u8]) -> Result<(), NetError> {
+        let mut writes = self.writes.lock().expect("write map lock");
+        match writes.get_mut(&to) {
+            Some(stream) => stream.write_all(frame).map_err(NetError::from),
+            None => Err(NetError::Unreachable(to)),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn local(&self) -> Ident {
+        self.me
+    }
+
+    fn connect(&mut self, peer: Ident, addr: &PeerAddr) -> Result<(), NetError> {
+        let PeerAddr::Socket(addr) = addr else {
+            return Err(NetError::Io("TcpTransport requires PeerAddr::Socket".into()));
+        };
+        // Keep an existing stream (first wins, FIFO per pair) but remember
+        // the address so reconnect-on-send knows where to go.
+        self.dialed.insert(peer, *addr);
+        if self.writes.lock().expect("write map lock").contains_key(&peer) {
+            return Ok(());
+        }
+        self.dial(peer, *addr)
+    }
+
+    fn send(&mut self, to: Ident, msg: NetMsg) -> Result<(), NetError> {
+        let frame = msg.to_frame();
+        match self.write_frame(to, &frame) {
+            Ok(()) => Ok(()),
+            Err(first) => {
+                // Reconnect path: only dialed peers have a known address.
+                let Some(addr) = self.dialed.get(&to).copied() else { return Err(first) };
+                self.writes.lock().expect("write map lock").remove(&to);
+                self.dial(to, addr)?;
+                self.write_frame(to, &frame)
+            }
+        }
+    }
+
+    fn recv(&mut self, deadline: Option<Duration>) -> Result<(Ident, NetMsg), NetError> {
+        match deadline {
+            None => match self.inbox.try_recv() {
+                Ok(pair) => Ok(pair),
+                Err(mpsc::TryRecvError::Empty) => Err(NetError::Timeout),
+                Err(mpsc::TryRecvError::Disconnected) => Err(NetError::Closed),
+            },
+            Some(d) => match self.inbox.recv_timeout(d) {
+                Ok(pair) => Ok(pair),
+                Err(mpsc::RecvTimeoutError::Timeout) => Err(NetError::Timeout),
+                Err(mpsc::RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(x: u64) -> Ident {
+        Ident::from_raw(x)
+    }
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().expect("loopback addr")
+    }
+
+    #[test]
+    fn dial_handshake_and_roundtrip() {
+        let mut a = TcpTransport::bind(id(1), loopback()).unwrap();
+        let mut b = TcpTransport::bind(id(2), loopback()).unwrap();
+        a.connect(id(2), &PeerAddr::Socket(b.local_addr())).unwrap();
+        a.send(id(2), NetMsg::Ping).unwrap();
+        let (from, msg) = b.recv(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!((from, msg), (id(1), NetMsg::Ping));
+        // b replies over the accepted connection without ever dialing a.
+        b.send(id(1), NetMsg::Pong { serving: true }).unwrap();
+        let (from, msg) = a.recv(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!((from, msg), (id(2), NetMsg::Pong { serving: true }));
+    }
+
+    #[test]
+    fn per_pair_order_is_preserved() {
+        let mut a = TcpTransport::bind(id(1), loopback()).unwrap();
+        let mut b = TcpTransport::bind(id(2), loopback()).unwrap();
+        a.connect(id(2), &PeerAddr::Socket(b.local_addr())).unwrap();
+        for rpc in 0..100u64 {
+            a.send(id(2), NetMsg::GetReq { rpc, key: rpc }).unwrap();
+        }
+        for rpc in 0..100u64 {
+            let (_, msg) = b.recv(Some(Duration::from_secs(5))).unwrap();
+            assert_eq!(msg, NetMsg::GetReq { rpc, key: rpc });
+        }
+    }
+
+    #[test]
+    fn send_without_route_is_unreachable() {
+        let mut a = TcpTransport::bind(id(1), loopback()).unwrap();
+        assert_eq!(a.send(id(9), NetMsg::Ping), Err(NetError::Unreachable(id(9))));
+    }
+
+    #[test]
+    fn big_state_frames_survive_the_socket() {
+        use rechord_core::state::PeerState;
+        use rechord_graph::NodeRef;
+        let mut st = PeerState::new();
+        for i in 0..512u64 {
+            st.levels.get_mut(&0).unwrap().nu.insert(NodeRef::real(id(i * 7 + 3)));
+        }
+        let mut a = TcpTransport::bind(id(1), loopback()).unwrap();
+        let mut b = TcpTransport::bind(id(2), loopback()).unwrap();
+        a.connect(id(2), &PeerAddr::Socket(b.local_addr())).unwrap();
+        let msg = NetMsg::StateSync { round: 1, state: Box::new(st) };
+        a.send(id(2), msg.clone()).unwrap();
+        let (_, got) = b.recv(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(got, msg);
+    }
+}

@@ -1,0 +1,105 @@
+//! The [`Transport`] abstraction: how one cluster actor (a peer or a
+//! client) exchanges [`NetMsg`]s with others, independent of whether
+//! "others" are structs in the same process or processes across sockets.
+//!
+//! The contract every backend honors:
+//!
+//! * actors are addressed by [`Ident`] — the same identifier the protocol
+//!   ring uses, so no separate naming layer exists;
+//! * `send` is reliable and per-pair FIFO (messages between two actors
+//!   arrive in send order; no ordering is promised across pairs);
+//! * `recv` surfaces `(sender, message)` pairs and supports deadlines, so
+//!   drivers can poll without hanging forever on a dead peer.
+//!
+//! [`crate::inmem::InMemTransport`] provides loopback delivery with
+//! deterministic FIFO queues (the simulator's semantics, bit for bit);
+//! [`crate::tcp::TcpTransport`] provides the same API over real sockets
+//! with a connect/accept lifecycle and per-peer reconnect/backoff.
+
+use crate::message::NetMsg;
+use crate::wire::WireError;
+use rechord_id::Ident;
+use std::fmt;
+use std::time::Duration;
+
+/// Where an actor can be reached.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PeerAddr {
+    /// In-memory fabric: the identifier is the whole address.
+    Mem,
+    /// A socket address (`host:port`) for the TCP backend.
+    Socket(std::net::SocketAddr),
+}
+
+/// Transport-layer failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// No route to the addressed actor (never connected, or closed and
+    /// reconnect exhausted its backoff budget).
+    Unreachable(Ident),
+    /// The deadline passed with nothing to receive.
+    Timeout,
+    /// The transport was shut down locally.
+    Closed,
+    /// A frame failed to decode (the connection it arrived on is dropped).
+    Wire(WireError),
+    /// An OS-level socket error.
+    Io(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Unreachable(id) => write!(f, "peer {id} unreachable"),
+            NetError::Timeout => write!(f, "recv deadline elapsed"),
+            NetError::Closed => write!(f, "transport closed"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}
+
+/// A reliable, identifier-addressed message channel for one cluster actor.
+pub trait Transport {
+    /// The identifier of the local actor.
+    fn local(&self) -> Ident;
+
+    /// Establishes (or re-establishes) a route to `peer` at `addr`.
+    /// In-memory backends resolve by identifier and ignore the address;
+    /// socket backends dial, retrying with backoff until the connection
+    /// budget is exhausted.
+    fn connect(&mut self, peer: Ident, addr: &PeerAddr) -> Result<(), NetError>;
+
+    /// Sends `msg` to `peer`. Reliable and FIFO per destination once
+    /// `connect` succeeded (socket backends also accept sends to actors
+    /// that dialed *us*, routed over the accepted connection).
+    fn send(&mut self, to: Ident, msg: NetMsg) -> Result<(), NetError>;
+
+    /// Receives the next `(sender, message)` pair, waiting at most
+    /// `deadline` (`None` = do not block). Returns [`NetError::Timeout`]
+    /// when nothing arrived in time.
+    fn recv(&mut self, deadline: Option<Duration>) -> Result<(Ident, NetMsg), NetError>;
+
+    /// Non-blocking receive: `Ok(None)` when no message is pending.
+    fn try_recv(&mut self) -> Result<Option<(Ident, NetMsg)>, NetError> {
+        match self.recv(None) {
+            Ok(pair) => Ok(Some(pair)),
+            Err(NetError::Timeout) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}

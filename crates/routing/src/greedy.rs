@@ -77,6 +77,22 @@ impl RoutingTable {
         self.knowledge.get(&peer)
     }
 
+    /// The routing view of a *single* peer in a real deployment: the full
+    /// peer roster (every node knows who is in the cluster, so
+    /// [`RoutingTable::responsible_for`] agrees everywhere) but only this
+    /// peer's own knowledge. [`route_step`] evaluated at `peer` needs
+    /// nothing more, so a distributed recursive lookup — each node deciding
+    /// one hop from its local view and forwarding — replays [`route`] over
+    /// the global table decision for decision.
+    pub fn local_view(peer: Ident, st: &PeerState, roster: &[Ident]) -> Self {
+        let mut peers = roster.to_vec();
+        peers.sort_unstable();
+        peers.dedup();
+        let mut knowledge = BTreeMap::new();
+        knowledge.insert(peer, Self::knowledge_from_state(peer, st));
+        RoutingTable { peers, knowledge }
+    }
+
     /// One peer's routing knowledge computed straight from its live protocol
     /// state: its own simulated nodes plus the targets of its unmarked and
     /// ring out-edges (connection edges do not participate in routing).

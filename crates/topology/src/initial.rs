@@ -56,6 +56,15 @@ impl InitialTopology {
         self.ids.is_empty()
     }
 
+    /// The initial out-contacts of the peer `id` — exactly the identifiers a
+    /// protocol seeds into that peer's knowledge (Re-Chord: `N_u(u_0)`).
+    /// A distributed node process uses this to start from the same state a
+    /// simulated peer would. Unknown identifiers have no contacts.
+    pub fn contacts_of(&self, id: Ident) -> Vec<Ident> {
+        let Ok(idx) = self.ids.binary_search(&id) else { return Vec::new() };
+        self.edges.iter().filter(|(a, _)| *a == idx).map(|&(_, b)| self.ids[b]).collect()
+    }
+
     /// Is the topology weakly connected (undirected reachability over the
     /// knowledge edges)? The precondition of Theorem 1.1.
     pub fn is_weakly_connected(&self) -> bool {

@@ -10,6 +10,10 @@
 //!   churn plans;
 //! * [`routing`] runs Chord applications (greedy lookups, a DHT) on the
 //!   stabilized overlay;
+//! * [`net`] runs Re-Chord as *real processes*: a transport abstraction
+//!   (deterministic in-memory loopback or TCP with a hand-rolled wire
+//!   codec), a node actor, and a closed-loop RPC client — byte-identical
+//!   to the direct-call engine;
 //! * [`placement`] is the sharded key→replica placement engine both the DHT
 //!   and the workload simulator delegate to (incremental O(moved keys)
 //!   repair after churn);
@@ -46,6 +50,7 @@ pub use rechord_chord as chord;
 pub use rechord_core as core;
 pub use rechord_graph as graph;
 pub use rechord_id as id;
+pub use rechord_net as net;
 pub use rechord_placement as placement;
 pub use rechord_routing as routing;
 pub use rechord_sim as sim;

@@ -1,0 +1,78 @@
+//! Integration: the transport subsystem joins the reproducibility
+//! contract — protocol rounds replayed through `InMemTransport` (each
+//! peer owning only its own state, exchanging `StateSync`/`RoundMsgs`
+//! frames) converge in the same number of rounds, with the same per-round
+//! message counts, to the same per-peer states as the direct-call engine,
+//! on the same golden scenarios `tests/determinism.rs` pins.
+//!
+//! This is the claim that makes the simulator's numbers transfer to real
+//! deployments: the wire changes *how* state moves, never *what* the
+//! protocol computes.
+
+use rechord::core::network::{snapshot_states, ReChordNetwork};
+use rechord::net::{stabilize_lockstep, ClusterConfig};
+use rechord::placement::PlacementMap;
+use rechord::topology::{InitialTopology, TopologyKind};
+
+/// The golden scenarios of `tests/determinism.rs`, verbatim.
+fn golden() -> Vec<(&'static str, InitialTopology)> {
+    vec![
+        ("random-40", TopologyKind::Random.generate(40, 0xd15c)),
+        ("clique-12", TopologyKind::Clique.generate(12, 7)),
+        ("binary-tree-18", TopologyKind::BinaryTree.generate(18, 3)),
+    ]
+}
+
+#[test]
+fn lockstep_transport_matches_engine_on_golden_scenarios() {
+    for (name, topo) in golden() {
+        // Direct-call reference: the engine with a per-round trace.
+        let mut net = ReChordNetwork::from_topology(&topo, 1);
+        let (report, trace) = net.engine_mut().run_traced(100_000, |_| true);
+        assert!(report.converged, "{name}: engine must converge");
+
+        // The same topology as message-passing peers over the loopback
+        // fabric, pumped in lock step.
+        let cfg = ClusterConfig {
+            topology: topo.clone(),
+            space_seed: 0,
+            replication: 1,
+            max_rounds: 100_000,
+        };
+        let (lockstep, states) = stabilize_lockstep(&cfg).expect(name);
+
+        assert!(lockstep.converged, "{name}: every transport node must converge");
+        assert_eq!(lockstep.rounds, report.rounds, "{name}: round counts diverged");
+        assert_eq!(
+            lockstep.total_messages, report.total_messages,
+            "{name}: total message counts diverged"
+        );
+        assert_eq!(lockstep.per_round.len(), trace.rounds.len(), "{name}: trace lengths diverged");
+        for (got, want) in lockstep.per_round.iter().zip(&trace.rounds) {
+            assert_eq!(
+                *got,
+                (want.delivered, want.dropped),
+                "{name}: round {} message counts diverged",
+                want.round
+            );
+        }
+
+        // Same states, peer for peer...
+        let engine_states: Vec<_> = net.engine().iter().map(|(id, st)| (id, st.clone())).collect();
+        assert_eq!(states, engine_states, "{name}: converged states diverged");
+
+        // ...hence the same overlay snapshot...
+        let transport_snapshot = snapshot_states(states.iter().map(|(id, st)| (*id, st)));
+        assert_eq!(transport_snapshot, net.snapshot(), "{name}: snapshots diverged");
+
+        // ...and the same key placement a DHT would build on top.
+        let peers: Vec<_> = states.iter().map(|(id, _)| *id).collect();
+        let transport_placement = PlacementMap::<String>::from_peers(&peers, 2);
+        let engine_placement = PlacementMap::<String>::from_peers(&net.real_ids(), 2);
+        assert_eq!(
+            transport_placement.digest(),
+            engine_placement.digest(),
+            "{name}: placement digests diverged"
+        );
+    }
+}
