@@ -71,13 +71,22 @@ run cargo test -q --release --offline -p rechord_placement
 
 # 3h. The real-process cluster smoke: build the `node` binary (a bin of a
 #     dependency crate, so `cargo run --bin cluster` alone won't), then
-#     spawn a 3-process TCP loopback cluster and serve a 10k-RPC get/put
-#     workload — per-RPC results asserted identical across the direct-call
-#     oracle, the in-memory cluster, and the TCP processes, availability
-#     exactly 1.0, orderly shutdown. Bounded by timeout in case a process
-#     wedges.
+#     spawn 3-process TCP loopback clusters and serve a 10k-RPC get/put
+#     workload serially (window=1, the legacy closed loop), pipelined at
+#     window=16, and pipelined from 4 concurrent clients — per-RPC results
+#     asserted identical across the direct-call oracle, the in-memory
+#     cluster, and the TCP processes at every setting, availability exactly
+#     1.0, zero wire errors, orderly shutdown. Bounded by timeout in case a
+#     process wedges. The emitted JSON must carry the pipelining schema
+#     (window / clients / host_cores fields).
 run cargo build --release --offline -p rechord_net --bin node
-run timeout 600 cargo run --release --offline --bin cluster -- --smoke
+run timeout 600 cargo run --release --offline --bin cluster -- --smoke --window 16
+for field in '"window"' '"clients"' '"host_cores"'; do
+  if ! grep -q "$field" results/cluster_smoke.json; then
+    echo "ci.sh: results/cluster_smoke.json lost the $field field" >&2
+    exit 1
+  fi
+done
 
 # 4. Rustdoc must build warning-free (broken intra-doc links are bugs).
 RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace --offline

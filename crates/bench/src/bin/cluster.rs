@@ -4,33 +4,47 @@
 //! *processes* over TCP — with every per-RPC result asserted identical
 //! before a single number is reported.
 //!
-//! The three runs share one `TrafficGen` stream, one key-hashing seed, and
-//! one deterministic entry-peer sequence (`mix(seed, rpc) % n`), so the
-//! routed hops, responsible peers, and returned values must agree RPC for
-//! RPC. The bench *is* the parity test; the timings it then writes
-//! (`BENCH_cluster.json` at the root, `results/cluster_smoke.json` under
-//! `--smoke`) measure what the wire costs relative to a function call.
+//! Each backend runs three settings: strictly serial (`window=1`, one
+//! client — the legacy closed loop, byte-identical on the wire to the
+//! pre-pipelining client), windowed (`--window N` requests in flight from
+//! one client, corked writes coalescing whole windows into single
+//! syscalls), and windowed multi-client (`--clients C` concurrent clients,
+//! each owning the keys `key % C == c` so the shards never conflict and
+//! per-shard results stay interleaving-independent).
 //!
-//! The TCP leg spawns `node` binaries from this executable's directory —
+//! All runs share one `TrafficGen` stream and one key-hashing seed; entry
+//! peers are drawn per client as `mix(entry_seed, rpc) % n` with
+//! client-local 1-based rpc ids, and the oracle replays each shard with
+//! the same draw — so routed hops, responsible peers, and returned values
+//! must agree RPC for RPC *at every setting*. The bench *is* the parity
+//! test; the timings it then writes (`BENCH_cluster.json` at the root,
+//! `results/cluster_smoke.json` under `--smoke`) measure what the wire
+//! costs relative to a function call, and what pipelining buys back.
+//!
+//! The TCP legs spawn `node` binaries from this executable's directory —
 //! build them first (`cargo build --release -p rechord_net --bin node`, as
 //! ci.sh does); the bench fails with a pointed message otherwise.
 
 use rechord_analysis::Table;
+use rechord_core::adversary::mix;
 use rechord_core::network::ReChordNetwork;
 use rechord_id::{IdSpace, Ident};
-use rechord_net::{ClusterClient, ClusterConfig, RpcResult, ThreadedCluster, Transport};
+use rechord_net::{ClusterClient, ClusterConfig, NetMsg, RpcResult, ThreadedCluster, Transport};
 use rechord_net::{PeerAddr, TcpTransport};
 use rechord_routing::{KvStore, RoutingTable};
 use rechord_topology::TopologyKind;
 use rechord_workload::{Op, Request, TrafficConfig, TrafficGen};
 use std::net::{SocketAddr, TcpListener};
 use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 const SEED: u64 = 0xc1;
 const NODES: usize = 3;
 const REPLICATION: usize = 2;
 const MAX_ROUNDS: u64 = 200_000;
+const DEFAULT_WINDOW: usize = 64;
+const DEFAULT_CLIENTS: usize = 4;
 
 /// The put payload is a pure function of the request, so every backend
 /// writes (and the oracle expects) the same bytes.
@@ -51,9 +65,39 @@ fn workload(rpcs: usize) -> Vec<Request> {
     (0..rpcs as u64).map(|k| gen.next_request(k)).collect()
 }
 
-/// Timing + latency distribution of one backend's run.
+/// Entry-peer seed of one client. A single client keeps the legacy seed
+/// (so the serial row replays the committed byte stream exactly); a fleet
+/// gets distinct deterministic seeds, mirrored by the oracle replay.
+fn client_entry_seed(client: usize, clients: usize) -> u64 {
+    if clients == 1 {
+        SEED
+    } else {
+        mix(&[SEED, 0x5eed, client as u64])
+    }
+}
+
+/// Identifier of worker client `c`. Roster ids are random draws well away
+/// from the top of the space; `u64::MAX` itself is the control client.
+fn client_ident(c: usize) -> Ident {
+    Ident::from_raw(u64::MAX - 1 - c as u64)
+}
+
+/// Splits the stream into per-client shards by `key % clients`, so clients
+/// own disjoint key sets and every interleaving of their pipelines yields
+/// the serial per-shard answers.
+fn shard(requests: &[Request], clients: usize) -> Vec<Vec<Request>> {
+    let mut shards = vec![Vec::new(); clients];
+    for &req in requests {
+        shards[(req.key % clients as u64) as usize].push(req);
+    }
+    shards
+}
+
+/// Timing + latency distribution of one backend setting.
 struct BackendStat {
     name: &'static str,
+    window: usize,
+    clients: usize,
     wall_ms: f64,
     rpcs_per_sec: f64,
     mean_us: f64,
@@ -61,13 +105,20 @@ struct BackendStat {
     p99_us: f64,
 }
 
-fn stat_of(name: &'static str, wall: Duration, mut lat_us: Vec<f64>) -> BackendStat {
+fn stat_of(
+    name: &'static str,
+    window: usize,
+    clients: usize,
+    wall: Duration,
+    mut lat_us: Vec<f64>,
+) -> BackendStat {
     lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
-    let wall_ms = wall.as_secs_f64() * 1e3;
     BackendStat {
         name,
-        wall_ms,
+        window,
+        clients,
+        wall_ms: wall.as_secs_f64() * 1e3,
         rpcs_per_sec: lat_us.len() as f64 / wall.as_secs_f64(),
         mean_us: lat_us.iter().sum::<f64>() / lat_us.len() as f64,
         p50_us: pct(0.50),
@@ -75,99 +126,176 @@ fn stat_of(name: &'static str, wall: Duration, mut lat_us: Vec<f64>) -> BackendS
     }
 }
 
-/// The direct-call oracle: stabilize the same topology in the engine, then
-/// replay the stream against `KvStore`, mirroring the client's rpc ids
-/// (request index + 1) and entry peers.
-fn oracle_run(cfg: &ClusterConfig, requests: &[Request]) -> (Vec<RpcResult>, BackendStat) {
-    let mut net = ReChordNetwork::from_topology(&cfg.topology, 1);
-    let report = net.run_until_stable(cfg.max_rounds);
-    assert!(report.converged, "oracle overlay must stabilize");
-    let table = RoutingTable::from_network(&net);
-    let space = IdSpace::new(cfg.space_seed);
-    let mut kv = KvStore::with_replication(table, space, cfg.replication);
-
-    let roster = cfg.topology.ids.clone();
-    let entry = |rpc: u64| {
-        roster[(rechord_core::adversary::mix(&[cfg.space_seed, rpc]) as usize) % roster.len()]
-    };
-
-    let mut results = Vec::with_capacity(requests.len());
-    let mut lat = Vec::with_capacity(requests.len());
-    let t0 = Instant::now();
-    for req in requests {
-        let rpc = req.id + 1; // client rpc ids are 1-based
-        let via = entry(rpc);
-        let t = Instant::now();
-        let r = match req.op {
-            Op::Put => {
-                let out = kv.put(via, req.key, put_value(req)).expect("roster is non-empty");
-                RpcResult {
-                    rpc,
-                    ok: out.routed,
-                    hops: out.hops as u32,
-                    responsible: out.responsible,
-                    value: None,
-                }
-            }
-            Op::Get => {
-                let (value, out) = kv.get(via, req.key).expect("roster is non-empty");
-                RpcResult {
-                    rpc,
-                    ok: out.routed,
-                    hops: out.hops as u32,
-                    responsible: out.responsible,
-                    value: value.map(str::to_string),
-                }
-            }
-        };
-        lat.push(t.elapsed().as_secs_f64() * 1e6);
-        results.push(r);
-    }
-    (results, stat_of("oracle", t0.elapsed(), lat))
+/// The direct-call oracle: the same topology stabilized in the engine,
+/// replayed shard by shard against a fresh `KvStore` with the clients'
+/// rpc-id and entry-peer draws. Disjoint shard keys make the sequential
+/// replay equal to every interleaving the live clusters can produce.
+struct Oracle {
+    net: ReChordNetwork,
+    space_seed: u64,
+    replication: usize,
+    roster: Vec<Ident>,
 }
 
-/// Drives the shared stream through a connected, serving client.
-fn drive<T: Transport>(
-    name: &'static str,
-    client: &mut ClusterClient<T>,
-    requests: &[Request],
-) -> (Vec<RpcResult>, BackendStat) {
-    let mut results = Vec::with_capacity(requests.len());
-    let mut lat = Vec::with_capacity(requests.len());
-    let t0 = Instant::now();
-    for req in requests {
-        let t = Instant::now();
-        let r = match req.op {
-            Op::Put => client.put(req.key, put_value(req)),
-            Op::Get => client.get(req.key),
+impl Oracle {
+    fn new(cfg: &ClusterConfig) -> Self {
+        let mut net = ReChordNetwork::from_topology(&cfg.topology, 1);
+        let report = net.run_until_stable(cfg.max_rounds);
+        assert!(report.converged, "oracle overlay must stabilize");
+        Oracle {
+            net,
+            space_seed: cfg.space_seed,
+            replication: cfg.replication,
+            roster: cfg.topology.ids.clone(),
         }
-        .unwrap_or_else(|e| panic!("{name}: rpc {} ({:?}) failed: {e}", req.id + 1, req.op));
-        lat.push(t.elapsed().as_secs_f64() * 1e6);
-        results.push(r);
     }
-    (results, stat_of(name, t0.elapsed(), lat))
+
+    /// Replays `shards` through one fresh store; also returns the per-RPC
+    /// serve latencies (µs) across all shards, for the oracle's own row.
+    fn replay(&self, shards: &[Vec<Request>]) -> (Vec<Vec<RpcResult>>, Vec<f64>) {
+        let table = RoutingTable::from_network(&self.net);
+        let space = IdSpace::new(self.space_seed);
+        let mut kv = KvStore::with_replication(table, space, self.replication);
+        let mut lat = Vec::with_capacity(shards.iter().map(Vec::len).sum());
+        let all = shards
+            .iter()
+            .enumerate()
+            .map(|(c, shard)| {
+                let seed = client_entry_seed(c, shards.len());
+                shard
+                    .iter()
+                    .enumerate()
+                    .map(|(i, req)| {
+                        let rpc = i as u64 + 1; // client rpc ids are 1-based
+                        let via = self.roster[(mix(&[seed, rpc]) as usize) % self.roster.len()];
+                        let t = Instant::now();
+                        let r = match req.op {
+                            Op::Put => {
+                                let out = kv
+                                    .put(via, req.key, put_value(req))
+                                    .expect("roster is non-empty");
+                                RpcResult {
+                                    rpc,
+                                    ok: out.routed,
+                                    hops: out.hops as u32,
+                                    responsible: out.responsible,
+                                    value: None,
+                                }
+                            }
+                            Op::Get => {
+                                let (value, out) =
+                                    kv.get(via, req.key).expect("roster is non-empty");
+                                RpcResult {
+                                    rpc,
+                                    ok: out.routed,
+                                    hops: out.hops as u32,
+                                    responsible: out.responsible,
+                                    value: value.map(str::to_string),
+                                }
+                            }
+                        };
+                        lat.push(t.elapsed().as_secs_f64() * 1e6);
+                        r
+                    })
+                    .collect()
+            })
+            .collect();
+        (all, lat)
+    }
 }
 
-/// In-memory loopback cluster: one thread per node on one fabric.
-fn inmem_run(cfg: &ClusterConfig, requests: &[Request]) -> (Vec<RpcResult>, BackendStat) {
+/// Replays one shard through a serving client, pipelined up to the
+/// client's window, and returns the results in issue order.
+fn drive_pipelined<T: Transport>(
+    client: &mut ClusterClient<T>,
+    shard: &[Request],
+) -> Result<Vec<RpcResult>, rechord_net::NetError> {
+    let mut results = Vec::with_capacity(shard.len());
+    for req in shard {
+        let done = match req.op {
+            Op::Put => client.submit_put(req.key, put_value(req))?,
+            Op::Get => client.submit_get(req.key)?,
+        };
+        results.extend(done);
+    }
+    results.extend(client.drain()?);
+    Ok(results)
+}
+
+/// One worker client on its own thread: wait for serving, rendezvous at
+/// the barrier, replay the shard, hand back results plus latencies.
+fn spawn_client<T: Transport + Send + 'static>(
+    name: &'static str,
+    transport: T,
+    roster: Vec<Ident>,
+    seed: u64,
+    window: usize,
+    shard: Vec<Request>,
+    barrier: Arc<Barrier>,
+) -> std::thread::JoinHandle<(Vec<RpcResult>, Vec<f64>)> {
+    std::thread::spawn(move || {
+        let mut client = ClusterClient::new(transport, roster, seed, Duration::from_secs(30))
+            .with_window(window);
+        assert!(
+            client.wait_serving(Duration::from_secs(120)).expect("ping poll"),
+            "{name} cluster must reach serving"
+        );
+        barrier.wait();
+        let results = drive_pipelined(&mut client, &shard)
+            .unwrap_or_else(|e| panic!("{name}: pipelined replay failed: {e}"));
+        (results, client.take_latencies_us())
+    })
+}
+
+/// In-memory loopback cluster: one thread per node plus one per client,
+/// all on one fabric. Returns per-shard results and the run's stat.
+fn inmem_run(
+    cfg: &ClusterConfig,
+    shards: &[Vec<Request>],
+    window: usize,
+) -> (Vec<Vec<RpcResult>>, BackendStat) {
     let cluster = ThreadedCluster::launch(cfg);
-    let client_id = Ident::from_raw(u64::MAX); // ids are random draws; no collision here
-    let transport = cluster.client_endpoint(client_id);
-    let mut client = ClusterClient::new(
-        transport,
+    let barrier = Arc::new(Barrier::new(shards.len() + 1));
+    let workers: Vec<_> = shards
+        .iter()
+        .enumerate()
+        .map(|(c, shard)| {
+            spawn_client(
+                "inmem",
+                cluster.client_endpoint(client_ident(c)),
+                cluster.roster().to_vec(),
+                client_entry_seed(c, shards.len()),
+                window,
+                shard.clone(),
+                barrier.clone(),
+            )
+        })
+        .collect();
+    let t0 = Instant::now();
+    barrier.wait();
+    let mut results = Vec::with_capacity(workers.len());
+    let mut lat = Vec::new();
+    for w in workers {
+        let (r, l) = w.join().expect("client thread");
+        results.push(r);
+        lat.extend(l);
+    }
+    let wall = t0.elapsed();
+
+    let mut control = ClusterClient::new(
+        cluster.client_endpoint(Ident::from_raw(u64::MAX)),
         cluster.roster().to_vec(),
-        cfg.space_seed,
+        SEED,
         Duration::from_secs(30),
     );
-    assert!(
-        client.wait_serving(Duration::from_secs(120)).expect("ping poll"),
-        "in-mem cluster must reach serving"
-    );
-    let out = drive("inmem", &mut client, requests);
-    client.shutdown_all().expect("shutdown");
+    control.shutdown_all().expect("shutdown");
     let reports = cluster.join().expect("node threads");
     assert!(reports.iter().all(|r| r.converged), "every in-mem node must converge");
-    out
+    assert!(
+        reports.iter().all(|r| r.wire_errors == 0),
+        "a healthy cluster must decode every frame"
+    );
+    (results, stat_of("inmem", window, shards.len(), wall, lat))
 }
 
 /// Reserves `n` distinct loopback ports by binding and immediately
@@ -192,9 +320,24 @@ impl Drop for Reaper {
     }
 }
 
-/// Real processes over TCP: spawn one `node` binary per peer, connect a
-/// TCP client, replay the stream, shut the processes down cleanly.
-fn tcp_run(cfg: &ClusterConfig, requests: &[Request]) -> (Vec<RpcResult>, BackendStat) {
+/// Dials every node from a fresh client socket.
+fn tcp_client_transport(id: Ident, roster: &[Ident], addrs: &[SocketAddr]) -> TcpTransport {
+    let mut transport =
+        TcpTransport::bind(id, "127.0.0.1:0".parse().unwrap()).expect("bind client");
+    for (peer, addr) in roster.iter().zip(addrs) {
+        transport.connect(*peer, &PeerAddr::Socket(*addr)).expect("dial node");
+    }
+    transport
+}
+
+/// Real processes over TCP: spawn one `node` binary per peer, connect one
+/// client socket per shard, replay, then audit wire-error counters and
+/// shut the processes down cleanly.
+fn tcp_run(
+    cfg: &ClusterConfig,
+    shards: &[Vec<Request>],
+    window: usize,
+) -> (Vec<Vec<RpcResult>>, BackendStat) {
     let node_bin = std::env::current_exe()
         .expect("current exe")
         .parent()
@@ -240,30 +383,56 @@ fn tcp_run(cfg: &ClusterConfig, requests: &[Request]) -> (Vec<RpcResult>, Backen
         children.0.push(child);
     }
 
-    let client_id = Ident::from_raw(u64::MAX);
-    let mut transport =
-        TcpTransport::bind(client_id, "127.0.0.1:0".parse().unwrap()).expect("bind client");
-    for (id, addr) in cfg.topology.ids.iter().zip(&addrs) {
-        transport.connect(*id, &PeerAddr::Socket(*addr)).expect("dial node");
+    let roster = cfg.topology.ids.clone();
+    let barrier = Arc::new(Barrier::new(shards.len() + 1));
+    let workers: Vec<_> = shards
+        .iter()
+        .enumerate()
+        .map(|(c, shard)| {
+            spawn_client(
+                "tcp",
+                tcp_client_transport(client_ident(c), &roster, &addrs),
+                roster.clone(),
+                client_entry_seed(c, shards.len()),
+                window,
+                shard.clone(),
+                barrier.clone(),
+            )
+        })
+        .collect();
+    let t0 = Instant::now();
+    barrier.wait();
+    let mut results = Vec::with_capacity(workers.len());
+    let mut lat = Vec::new();
+    for w in workers {
+        let (r, l) = w.join().expect("client thread");
+        results.push(r);
+        lat.extend(l);
     }
-    let mut client = ClusterClient::new(
-        transport,
-        cfg.topology.ids.clone(),
-        cfg.space_seed,
+    let wall = t0.elapsed();
+
+    let mut control = ClusterClient::new(
+        tcp_client_transport(Ident::from_raw(u64::MAX), &roster, &addrs),
+        roster.clone(),
+        SEED,
         Duration::from_secs(30),
     );
-    assert!(
-        client.wait_serving(Duration::from_secs(120)).expect("ping poll"),
-        "TCP cluster must reach serving"
-    );
-    let out = drive("tcp", &mut client, requests);
-    client.shutdown_all().expect("shutdown");
+    for &peer in &roster {
+        match control.stats_of(peer).expect("node stats") {
+            NetMsg::Stats { wire_errors, converged, .. } => {
+                assert!(converged, "node {peer} must report convergence");
+                assert_eq!(wire_errors, 0, "node {peer} dropped frames as undecodable");
+            }
+            other => panic!("unexpected stats reply: {other:?}"),
+        }
+    }
+    control.shutdown_all().expect("shutdown");
     for child in &mut children.0 {
         let status = child.wait().expect("wait node");
         assert!(status.success(), "node process exited nonzero: {status}");
     }
     children.0.clear();
-    out
+    (results, stat_of("tcp", window, shards.len(), wall, lat))
 }
 
 fn json_number(x: f64) -> String {
@@ -274,36 +443,44 @@ fn json_number(x: f64) -> String {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn write_json(
-    path: &std::path::Path,
-    mode: &str,
-    nodes: usize,
+struct RunSummary {
+    mode: &'static str,
     rpcs: usize,
     puts: usize,
+    window: usize,
+    clients: usize,
     availability: f64,
     mean_hops: f64,
-    stats: &[BackendStat],
-) {
+}
+
+fn write_json(path: &std::path::Path, run: &RunSummary, stats: &[BackendStat]) {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"cluster\",\n");
-    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
-    out.push_str(&format!("  \"nodes\": {nodes},\n"));
-    out.push_str(&format!("  \"rpcs\": {rpcs},\n"));
-    out.push_str(&format!("  \"puts\": {puts},\n"));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", run.mode));
+    out.push_str(&format!("  \"nodes\": {NODES},\n"));
+    out.push_str(&format!("  \"rpcs\": {},\n", run.rpcs));
+    out.push_str(&format!("  \"puts\": {},\n", run.puts));
     out.push_str(&format!("  \"seed\": {SEED},\n"));
-    out.push_str(&format!("  \"availability\": {availability:.4},\n"));
-    out.push_str(&format!("  \"mean_hops\": {mean_hops:.3},\n"));
+    out.push_str(&format!("  \"window\": {},\n", run.window));
+    out.push_str(&format!("  \"clients\": {},\n", run.clients));
+    out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    out.push_str(&format!("  \"availability\": {:.4},\n", run.availability));
+    out.push_str(&format!("  \"mean_hops\": {:.3},\n", run.mean_hops));
     out.push_str(
         "  \"parity\": \"per-RPC (ok, hops, responsible, value) identical across the \
-         direct-call oracle, the in-memory cluster, and the TCP process cluster\",\n",
+         direct-call oracle, the in-memory cluster, and the TCP process cluster, at \
+         every window and client-count setting\",\n",
     );
     out.push_str("  \"backends\": [\n");
     for (i, s) in stats.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_ms\": {}, \"rpcs_per_sec\": {}, \
-             \"latency_mean_us\": {}, \"latency_p50_us\": {}, \"latency_p99_us\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"window\": {}, \"clients\": {}, \"wall_ms\": {}, \
+             \"rpcs_per_sec\": {}, \"latency_mean_us\": {}, \"latency_p50_us\": {}, \
+             \"latency_p99_us\": {}}}{}\n",
             s.name,
+            s.window,
+            s.clients,
             json_number(s.wall_ms),
             json_number(s.rpcs_per_sec),
             json_number(s.mean_us),
@@ -322,11 +499,35 @@ fn write_json(
     println!("wrote {}", path.display());
 }
 
+fn usage() -> ! {
+    eprintln!("usage: cluster [--smoke] [--window <n>=64] [--clients <n>=4]");
+    std::process::exit(2);
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut smoke = false;
+    let mut window = DEFAULT_WINDOW;
+    let mut clients = DEFAULT_CLIENTS;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--window" => {
+                window = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--clients" => {
+                clients = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    if window == 0 || clients == 0 {
+        usage();
+    }
     let rpcs = if smoke { 10_000 } else { 30_000 };
     println!(
-        "cluster bench: {NODES} nodes, {rpcs} RPCs, seed {SEED:#x}{}",
+        "cluster bench: {NODES} nodes, {rpcs} RPCs, seed {SEED:#x}, \
+         window {window}, clients {clients}{}",
         if smoke { " [smoke]" } else { "" }
     );
 
@@ -338,32 +539,66 @@ fn main() {
     };
     let requests = workload(rpcs);
     let puts = requests.iter().filter(|r| r.op == Op::Put).count();
+    let single = vec![requests.clone()];
+    let sharded = shard(&requests, clients);
 
-    let (oracle, oracle_stat) = oracle_run(&cfg, &requests);
-    println!("  oracle: {:.0} rpc/s", oracle_stat.rpcs_per_sec);
-    let (inmem, inmem_stat) = inmem_run(&cfg, &requests);
-    println!("  inmem:  {:.0} rpc/s", inmem_stat.rpcs_per_sec);
-    let (tcp, tcp_stat) = tcp_run(&cfg, &requests);
-    println!("  tcp:    {:.0} rpc/s", tcp_stat.rpcs_per_sec);
+    // Oracle: one timed single-stream replay (the reported row) plus an
+    // untimed sharded replay for the multi-client parity reference.
+    let oracle = Oracle::new(&cfg);
+    let t0 = Instant::now();
+    let (oracle_single, oracle_lat) = oracle.replay(&single);
+    let oracle_stat = stat_of("oracle", 1, 1, t0.elapsed(), oracle_lat);
+    let (oracle_sharded, _) = oracle.replay(&sharded);
+    println!("  oracle:            {:>8.0} rpc/s", oracle_stat.rpcs_per_sec);
 
-    // The claim of the subsystem, checked result-by-result: the wire
-    // changes the cost of an RPC, never its answer.
-    for (i, (o, m)) in oracle.iter().zip(&inmem).enumerate() {
-        assert_eq!(o, m, "in-mem diverged from the oracle at rpc {}", i + 1);
+    let mut stats = vec![oracle_stat];
+    let check = |name: &str, got: &[Vec<RpcResult>], want: &[Vec<RpcResult>]| {
+        assert_eq!(got.len(), want.len(), "{name}: shard count mismatch");
+        for (c, (g, w)) in got.iter().zip(want).enumerate() {
+            assert_eq!(g.len(), w.len(), "{name}: shard {c} length mismatch");
+            for (i, (gr, wr)) in g.iter().zip(w).enumerate() {
+                assert_eq!(gr, wr, "{name}: client {c} diverged at its rpc {}", i + 1);
+            }
+        }
+    };
+
+    // In-mem and TCP, three settings each; every row checked against the
+    // oracle replay with the matching sharding. The serial row doubles as
+    // the regression anchor: window=1 must behave exactly like the old
+    // one-in-flight client.
+    type RunFn = fn(&ClusterConfig, &[Vec<Request>], usize) -> (Vec<Vec<RpcResult>>, BackendStat);
+    for (backend, run) in [("inmem", inmem_run as RunFn), ("tcp", tcp_run as RunFn)] {
+        let (serial, serial_stat) = run(&cfg, &single, 1);
+        check(&format!("{backend} serial"), &serial, &oracle_single);
+        println!("  {backend} w=1 c=1:   {:>8.0} rpc/s", serial_stat.rpcs_per_sec);
+        stats.push(serial_stat);
+
+        let (windowed, windowed_stat) = run(&cfg, &single, window);
+        check(&format!("{backend} windowed"), &windowed, &oracle_single);
+        check(&format!("{backend} windowed vs serial"), &windowed, &serial);
+        println!("  {backend} w={window} c=1:  {:>8.0} rpc/s", windowed_stat.rpcs_per_sec);
+        stats.push(windowed_stat);
+
+        let (fleet, fleet_stat) = run(&cfg, &sharded, window);
+        check(&format!("{backend} fleet"), &fleet, &oracle_sharded);
+        println!("  {backend} w={window} c={clients}:  {:>8.0} rpc/s", fleet_stat.rpcs_per_sec);
+        stats.push(fleet_stat);
     }
-    for (i, (m, t)) in inmem.iter().zip(&tcp).enumerate() {
-        assert_eq!(m, t, "TCP diverged from in-mem at rpc {}", i + 1);
-    }
-    let served_ok = oracle.iter().filter(|r| r.ok).count();
-    let availability = served_ok as f64 / oracle.len() as f64;
+
+    let served_ok = oracle_single[0].iter().filter(|r| r.ok).count();
+    let availability = served_ok as f64 / oracle_single[0].len() as f64;
     assert_eq!(availability, 1.0, "a stable cluster must serve every RPC");
-    let mean_hops = oracle.iter().map(|r| r.hops as f64).sum::<f64>() / oracle.len() as f64;
+    let mean_hops =
+        oracle_single[0].iter().map(|r| r.hops as f64).sum::<f64>() / oracle_single[0].len() as f64;
 
-    let stats = [oracle_stat, inmem_stat, tcp_stat];
-    let mut table = Table::new(&["backend", "wall_ms", "rpc/s", "mean_us", "p50_us", "p99_us"]);
+    let mut table = Table::new(&[
+        "backend", "window", "clients", "wall_ms", "rpc/s", "mean_us", "p50_us", "p99_us",
+    ]);
     for s in &stats {
         table.row(&[
             s.name.to_string(),
+            s.window.to_string(),
+            s.clients.to_string(),
             format!("{:.0}", s.wall_ms),
             format!("{:.0}", s.rpcs_per_sec),
             format!("{:.1}", s.mean_us),
@@ -378,15 +613,18 @@ fn main() {
     } else {
         std::path::PathBuf::from("BENCH_cluster.json")
     };
-    write_json(
-        &path,
-        if smoke { "smoke" } else { "full" },
-        NODES,
+    let run = RunSummary {
+        mode: if smoke { "smoke" } else { "full" },
         rpcs,
         puts,
+        window,
+        clients,
         availability,
         mean_hops,
-        &stats,
+    };
+    write_json(&path, &run, &stats);
+    println!(
+        "cluster: {rpcs} RPCs byte-identical across oracle, in-mem, and TCP \
+         at windows 1 and {window}, clients 1 and {clients}"
     );
-    println!("cluster: {rpcs} RPCs byte-identical across oracle, in-mem, and TCP");
 }

@@ -108,13 +108,14 @@ fn main() {
     match NodePeer::new(transport, cfg).run(Duration::from_millis(5)) {
         Ok(report) => {
             println!(
-                "node {} done: rounds={} converged={} delivered={} dropped={} served={}",
+                "node {} done: rounds={} converged={} delivered={} dropped={} served={} wire_errors={}",
                 args.me,
                 report.rounds,
                 report.converged,
                 report.delivered,
                 report.dropped,
-                report.served
+                report.served,
+                report.wire_errors
             );
         }
         Err(e) => {

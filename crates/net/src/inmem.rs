@@ -8,6 +8,12 @@
 //! The fabric is internally locked, so endpoints may also be moved onto
 //! threads; determinism then becomes the driver's problem, exactly as
 //! with real sockets.
+//!
+//! Corked sends ([`Transport::send_corked`]) keep their default meaning
+//! here — enqueue immediately, flush is a no-op. There is no syscall to
+//! coalesce on a loopback fabric, and eager delivery preserves the
+//! simulator's synchronous-send semantics, so lock-step replays see the
+//! exact same interleavings whether callers cork or not.
 
 use crate::message::NetMsg;
 use crate::transport::{NetError, PeerAddr, Transport};

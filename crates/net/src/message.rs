@@ -196,6 +196,10 @@ pub enum NetMsg {
         dropped: u64,
         /// Data-plane RPCs this peer answered (as responsible peer).
         served: u64,
+        /// Frames the transport dropped as undecodable (corrupt header or
+        /// payload) — a mis-speaking peer shows up here instead of as a
+        /// silent hang.
+        wire_errors: u64,
     },
 }
 
@@ -355,92 +359,101 @@ impl NetMsg {
     /// Encodes the message body (tag byte + fields, no frame header).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the message body to `out` — the allocation-free wire path:
+    /// callers reuse one grow-only scratch buffer per connection instead
+    /// of allocating a fresh `Vec` per send. Bytes already in `out` are
+    /// left untouched.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             NetMsg::Hello { from } => {
                 out.push(TAG_HELLO);
-                put_u64(&mut out, from.raw());
+                put_u64(out, from.raw());
             }
             NetMsg::StateSync { round, state } => {
                 out.push(TAG_STATE_SYNC);
-                put_u64(&mut out, *round);
-                put_peer_state(&mut out, state);
+                put_u64(out, *round);
+                put_peer_state(out, state);
             }
             NetMsg::RoundMsgs { round, msgs } => {
                 out.push(TAG_ROUND_MSGS);
-                put_u64(&mut out, *round);
-                put_u32(&mut out, msgs.len() as u32);
+                put_u64(out, *round);
+                put_u32(out, msgs.len() as u32);
                 for m in msgs {
-                    put_msg(&mut out, m);
+                    put_msg(out, m);
                 }
             }
             NetMsg::GossipSuccessors { successors } => {
                 out.push(TAG_GOSSIP);
-                put_u32(&mut out, successors.len() as u32);
+                put_u32(out, successors.len() as u32);
                 for s in successors {
-                    put_u64(&mut out, s.raw());
+                    put_u64(out, s.raw());
                 }
             }
             NetMsg::Ping => out.push(TAG_PING),
             NetMsg::Pong { serving } => {
                 out.push(TAG_PONG);
-                put_bool(&mut out, *serving);
+                put_bool(out, *serving);
             }
             NetMsg::GetReq { rpc, key } => {
                 out.push(TAG_GET);
-                put_u64(&mut out, *rpc);
-                put_u64(&mut out, *key);
+                put_u64(out, *rpc);
+                put_u64(out, *key);
             }
             NetMsg::PutReq { rpc, key, value, version } => {
                 out.push(TAG_PUT);
-                put_u64(&mut out, *rpc);
-                put_u64(&mut out, *key);
-                put_string(&mut out, value);
-                put_u64(&mut out, *version);
+                put_u64(out, *rpc);
+                put_u64(out, *key);
+                put_string(out, value);
+                put_u64(out, *version);
             }
             NetMsg::LookupReq { rpc, key } => {
                 out.push(TAG_LOOKUP);
-                put_u64(&mut out, *rpc);
-                put_u64(&mut out, *key);
+                put_u64(out, *rpc);
+                put_u64(out, *key);
             }
             NetMsg::Forward(f) => {
                 out.push(TAG_FORWARD);
-                put_u64(&mut out, f.rpc);
-                put_u64(&mut out, f.client.raw());
+                put_u64(out, f.rpc);
+                put_u64(out, f.client.raw());
                 out.push(f.op.to_byte());
-                put_u64(&mut out, f.key);
-                put_string(&mut out, &f.value);
-                put_u64(&mut out, f.version);
-                put_u64(&mut out, f.cursor.raw());
-                put_u32(&mut out, f.hops);
-                put_u32(&mut out, f.steps);
+                put_u64(out, f.key);
+                put_string(out, &f.value);
+                put_u64(out, f.version);
+                put_u64(out, f.cursor.raw());
+                put_u32(out, f.hops);
+                put_u32(out, f.steps);
             }
             NetMsg::Reply { rpc, ok, hops, responsible, value } => {
                 out.push(TAG_REPLY);
-                put_u64(&mut out, *rpc);
-                put_bool(&mut out, *ok);
-                put_u32(&mut out, *hops);
-                put_u64(&mut out, responsible.raw());
-                put_opt_string(&mut out, value);
+                put_u64(out, *rpc);
+                put_bool(out, *ok);
+                put_u32(out, *hops);
+                put_u64(out, responsible.raw());
+                put_opt_string(out, value);
             }
             NetMsg::ReplicaPut { pos, key, version, value } => {
                 out.push(TAG_REPLICA_PUT);
-                put_u64(&mut out, pos.raw());
-                put_u64(&mut out, *key);
-                put_u64(&mut out, *version);
-                put_string(&mut out, value);
+                put_u64(out, pos.raw());
+                put_u64(out, *key);
+                put_u64(out, *version);
+                put_string(out, value);
             }
             NetMsg::Shutdown => out.push(TAG_SHUTDOWN),
             NetMsg::StatsReq => out.push(TAG_STATS_REQ),
-            NetMsg::Stats { rounds, converged, delivered, dropped, served } => {
+            NetMsg::Stats { rounds, converged, delivered, dropped, served, wire_errors } => {
                 out.push(TAG_STATS);
-                put_u64(&mut out, *rounds);
-                put_bool(&mut out, *converged);
-                put_u64(&mut out, *delivered);
-                put_u64(&mut out, *dropped);
-                put_u64(&mut out, *served);
+                put_u64(out, *rounds);
+                put_bool(out, *converged);
+                put_u64(out, *delivered);
+                put_u64(out, *dropped);
+                put_u64(out, *served);
+                put_u64(out, *wire_errors);
             }
         }
-        out
     }
 
     /// Decodes a message body (as produced by [`NetMsg::encode`]). The
@@ -513,6 +526,7 @@ impl NetMsg {
                 delivered: r.u64()?,
                 dropped: r.u64()?,
                 served: r.u64()?,
+                wire_errors: r.u64()?,
             },
             other => return Err(WireError::BadTag(other)),
         };
@@ -521,8 +535,22 @@ impl NetMsg {
     }
 
     /// Encodes the message into a complete wire frame (header + body).
+    /// Thin wrapper over [`NetMsg::frame_into`], kept for compatibility
+    /// and one-shot sends (handshakes, tests).
     pub fn to_frame(&self) -> Vec<u8> {
-        crate::wire::frame(&self.encode())
+        let mut out = Vec::new();
+        self.frame_into(&mut out);
+        out
+    }
+
+    /// Appends a complete wire frame (header + body) to `out`, encoding
+    /// the body in place and backfilling the length prefix — zero
+    /// intermediate allocations. Corked senders call this repeatedly on
+    /// one buffer so back-to-back frames coalesce into a single write.
+    pub fn frame_into(&self, out: &mut Vec<u8>) {
+        let mark = crate::wire::begin_frame(out);
+        self.encode_into(out);
+        crate::wire::end_frame(out, mark);
     }
 }
 
@@ -586,7 +614,14 @@ mod tests {
             NetMsg::ReplicaPut { pos: id, key: 9, version: 2, value: "v".into() },
             NetMsg::Shutdown,
             NetMsg::StatsReq,
-            NetMsg::Stats { rounds: 9, converged: true, delivered: 100, dropped: 2, served: 50 },
+            NetMsg::Stats {
+                rounds: 9,
+                converged: true,
+                delivered: 100,
+                dropped: 2,
+                served: 50,
+                wire_errors: 1,
+            },
         ];
         for m in msgs {
             let bytes = m.encode();
@@ -594,6 +629,12 @@ mod tests {
             let frame = m.to_frame();
             let (payload, used) = crate::wire::split_frame(&frame).unwrap().unwrap();
             assert_eq!(used, frame.len());
+            // The in-place path appends the identical bytes to a dirty
+            // buffer without disturbing what is already there.
+            let mut corked = vec![0xAA, 0xBB];
+            m.frame_into(&mut corked);
+            assert_eq!(&corked[..2], &[0xAA, 0xBB]);
+            assert_eq!(&corked[2..], &frame[..], "frame_into ≡ to_frame");
             assert_eq!(NetMsg::decode(payload), Ok(m), "frame roundtrip");
         }
     }

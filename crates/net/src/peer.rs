@@ -68,6 +68,9 @@ pub struct NodeReport {
     pub dropped: u64,
     /// Data-plane RPCs this node answered as responsible peer.
     pub served: u64,
+    /// Frames the transport dropped as undecodable (corrupt header or
+    /// payload); zero on a healthy cluster.
+    pub wire_errors: u64,
 }
 
 /// What a message told the driver to do next.
@@ -160,6 +163,7 @@ impl<T: Transport> NodePeer<T> {
             delivered,
             dropped,
             served: self.served,
+            wire_errors: self.transport.wire_errors(),
         }
     }
 
@@ -224,8 +228,10 @@ impl<T: Transport> NodePeer<T> {
         if self.sync.converged().is_none() {
             if let Some((round, state)) = self.sync.announce() {
                 for peer in self.others() {
-                    self.transport
-                        .send(peer, NetMsg::StateSync { round, state: Box::new(state.clone()) })?;
+                    self.transport.send_corked(
+                        peer,
+                        NetMsg::StateSync { round, state: Box::new(state.clone()) },
+                    )?;
                 }
             }
             match self.sync.try_step() {
@@ -233,7 +239,7 @@ impl<T: Transport> NodePeer<T> {
                 StepOutcome::Batches(batches) => {
                     let round = self.sync.executed();
                     for (peer, msgs) in batches {
-                        self.transport.send(peer, NetMsg::RoundMsgs { round, msgs })?;
+                        self.transport.send_corked(peer, NetMsg::RoundMsgs { round, msgs })?;
                     }
                 }
                 StepOutcome::Converged { .. } => {}
@@ -251,8 +257,10 @@ impl<T: Transport> NodePeer<T> {
                 Some(RoutingTable::local_view(self.cfg.me, self.sync.state(), self.sync.roster()));
             let successors = self.successor_list();
             for peer in self.others() {
-                self.transport
-                    .send(peer, NetMsg::GossipSuccessors { successors: successors.clone() })?;
+                self.transport.send_corked(
+                    peer,
+                    NetMsg::GossipSuccessors { successors: successors.clone() },
+                )?;
             }
             self.gossip_sent = true;
             self.update_serving();
@@ -298,7 +306,7 @@ impl<T: Transport> NodePeer<T> {
                 self.update_serving();
             }
             NetMsg::Ping => {
-                self.transport.send(from, NetMsg::Pong { serving: self.serving })?;
+                self.transport.send_corked(from, NetMsg::Pong { serving: self.serving })?;
             }
             NetMsg::Pong { .. } => {} // peers don't poll each other; ignore
             NetMsg::GetReq { rpc, key } => {
@@ -322,7 +330,7 @@ impl<T: Transport> NodePeer<T> {
             NetMsg::Reply { .. } => {} // client-side message; ignore
             NetMsg::StatsReq => {
                 let r = self.report();
-                self.transport.send(
+                self.transport.send_corked(
                     from,
                     NetMsg::Stats {
                         rounds: r.rounds,
@@ -330,6 +338,7 @@ impl<T: Transport> NodePeer<T> {
                         delivered: r.delivered,
                         dropped: r.dropped,
                         served: r.served,
+                        wire_errors: r.wire_errors,
                     },
                 )?;
             }
@@ -388,7 +397,7 @@ impl<T: Transport> NodePeer<T> {
                     fwd.cursor = cursor;
                     if peer != self.cfg.me {
                         fwd.hops += 1;
-                        return self.transport.send(peer, NetMsg::Forward(Box::new(fwd)));
+                        return self.transport.send_corked(peer, NetMsg::Forward(Box::new(fwd)));
                     }
                     // else: a free local step through our own virtual nodes
                 }
@@ -412,7 +421,7 @@ impl<T: Transport> NodePeer<T> {
                     self.store.insert(fwd.key, (fwd.version, fwd.value.clone()));
                 }
                 for replica in self.replica_set(pos).into_iter().skip(1) {
-                    self.transport.send(
+                    self.transport.send_corked(
                         replica,
                         NetMsg::ReplicaPut {
                             pos,
@@ -452,34 +461,52 @@ impl<T: Transport> NodePeer<T> {
             .as_ref()
             .and_then(|t| t.responsible_for(self.space.key_position(fwd.key)))
             .unwrap_or(self.cfg.me);
-        self.transport.send(
+        self.transport.send_corked(
             fwd.client,
             NetMsg::Reply { rpc: fwd.rpc, ok, hops: fwd.hops, responsible, value },
         )
     }
 
     /// Non-blocking pump: tick, then drain and handle everything pending,
-    /// ticking after each message. For deterministic in-process drivers.
+    /// ticking after each message; corked output is flushed once at the
+    /// end of the drain. For deterministic in-process drivers.
     pub fn pump(&mut self) -> Result<Control, NetError> {
         self.tick()?;
         while let Some((from, msg)) = self.transport.try_recv()? {
             if self.handle(from, msg)? == Control::Shutdown {
+                self.transport.flush_all()?;
                 return Ok(Control::Shutdown);
             }
             self.tick()?;
         }
+        self.transport.flush_all()?;
         Ok(Control::Continue)
     }
 
-    /// Blocking main loop for a node process: tick, wait up to `poll` for
-    /// a message, handle it, repeat — until an orderly shutdown. Returns
-    /// the final counters.
+    /// Blocking main loop for a node process, structured as batch drains:
+    /// tick, handle *everything already queued* without blocking (ticking
+    /// between messages), flush the corked replies in one write per peer,
+    /// and only then wait up to `poll` for the next wakeup. Pipelined
+    /// clients land whole windows in the inbox at once, so this turns N
+    /// request/reply syscall pairs into one read and one write per batch.
+    /// Runs until an orderly shutdown; returns the final counters.
     pub fn run(mut self, poll: Duration) -> Result<NodeReport, NetError> {
         loop {
             self.tick()?;
+            // Batch drain: everything pending, no blocking, one flush.
+            while let Some((from, msg)) = self.transport.try_recv()? {
+                if self.handle(from, msg)? == Control::Shutdown {
+                    self.transport.flush_all()?;
+                    return Ok(self.report());
+                }
+                self.tick()?;
+            }
+            // Liveness rule: never block with corked frames queued.
+            self.transport.flush_all()?;
             match self.transport.recv(Some(poll)) {
                 Ok((from, msg)) => {
                     if self.handle(from, msg)? == Control::Shutdown {
+                        self.transport.flush_all()?;
                         return Ok(self.report());
                     }
                 }

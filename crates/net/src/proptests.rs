@@ -98,15 +98,10 @@ fn net_msg() -> impl Strategy<Value = NetMsg> {
         ),
         Just(NetMsg::Shutdown),
         Just(NetMsg::StatsReq),
-        ((any::<u64>(), any::<bool>()), (any::<u64>(), any::<u64>(), any::<u64>())).prop_map(
-            |((rounds, converged), (delivered, dropped, served))| NetMsg::Stats {
-                rounds,
-                converged,
-                delivered,
-                dropped,
-                served
-            }
-        ),
+        ((any::<u64>(), any::<bool>()), (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()))
+            .prop_map(|((rounds, converged), (delivered, dropped, served, wire_errors))| {
+                NetMsg::Stats { rounds, converged, delivered, dropped, served, wire_errors }
+            }),
     ]
 }
 
@@ -120,6 +115,25 @@ proptest! {
         let (payload, used) = split_frame(&framed).unwrap().expect("complete frame");
         prop_assert_eq!(used, framed.len());
         prop_assert_eq!(NetMsg::decode(payload).unwrap(), msg);
+    }
+
+    #[test]
+    fn encode_into_matches_legacy_framing(msg in net_msg(), prefix in prop::collection::vec(any::<u8>(), 0..32)) {
+        // The allocation-free path must be byte-identical to the legacy
+        // allocate-per-message path — appended after arbitrary dirty
+        // prefixes, as a cork buffer holds earlier frames.
+        let legacy_body = msg.encode();
+        let legacy_frame = wire::frame(&legacy_body);
+        prop_assert_eq!(&msg.to_frame(), &legacy_frame);
+
+        let mut buf = prefix.clone();
+        msg.encode_into(&mut buf);
+        prop_assert_eq!(&buf[prefix.len()..], &legacy_body[..]);
+
+        let mut buf = prefix.clone();
+        msg.frame_into(&mut buf);
+        prop_assert_eq!(&buf[..prefix.len()], &prefix[..]);
+        prop_assert_eq!(&buf[prefix.len()..], &legacy_frame[..]);
     }
 
     #[test]

@@ -89,6 +89,37 @@ pub trait Transport {
     /// that dialed *us*, routed over the accepted connection).
     fn send(&mut self, to: Ident, msg: NetMsg) -> Result<(), NetError>;
 
+    /// Queues `msg` for `peer` without forcing it onto the wire — a
+    /// *corked* send. Ordering relative to other sends to the same peer is
+    /// preserved, but delivery may be deferred until [`Transport::flush`]
+    /// or [`Transport::flush_all`]; back-to-back corked frames coalesce
+    /// into one write on socket backends. Callers MUST flush before
+    /// blocking on a reply, or the request may never leave the buffer.
+    /// Backends without a cork buffer deliver immediately.
+    fn send_corked(&mut self, to: Ident, msg: NetMsg) -> Result<(), NetError> {
+        self.send(to, msg)
+    }
+
+    /// Pushes any corked frames for `peer` onto the wire. A no-op for
+    /// backends that deliver eagerly.
+    fn flush(&mut self, to: Ident) -> Result<(), NetError> {
+        let _ = to;
+        Ok(())
+    }
+
+    /// Pushes all corked frames, for every peer, onto the wire.
+    fn flush_all(&mut self) -> Result<(), NetError> {
+        Ok(())
+    }
+
+    /// Frames this endpoint dropped as undecodable since it was created
+    /// (corrupt header or payload). Nonzero means a connected peer is
+    /// mis-speaking the protocol — observable via [`NetMsg::Stats`]
+    /// instead of just a hung connection.
+    fn wire_errors(&self) -> u64 {
+        0
+    }
+
     /// Receives the next `(sender, message)` pair, waiting at most
     /// `deadline` (`None` = do not block). Returns [`NetError::Timeout`]
     /// when nothing arrived in time.

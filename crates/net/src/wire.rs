@@ -186,6 +186,28 @@ pub fn frame(payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Appends a frame header with a placeholder length to `out` and returns a
+/// mark for [`end_frame`]. Together they let a payload be encoded straight
+/// into `out` — no intermediate payload allocation — with the length
+/// prefix backfilled once the payload size is known.
+pub fn begin_frame(out: &mut Vec<u8>) -> usize {
+    let mark = out.len();
+    out.push(MAGIC0);
+    out.push(MAGIC1);
+    out.push(WIRE_VERSION);
+    out.push(0);
+    put_u32(out, 0); // backfilled by end_frame
+    mark
+}
+
+/// Closes a frame opened by [`begin_frame`] at `mark`: everything appended
+/// since is the payload, whose length is backfilled into the header.
+pub fn end_frame(out: &mut [u8], mark: usize) {
+    let payload_len = out.len() - mark - HEADER_LEN;
+    assert!(payload_len <= MAX_FRAME_LEN as usize, "payload exceeds MAX_FRAME_LEN");
+    out[mark + 4..mark + HEADER_LEN].copy_from_slice(&(payload_len as u32).to_be_bytes());
+}
+
 /// Validates a frame header, returning the declared payload length.
 /// `header` must be exactly [`HEADER_LEN`] bytes.
 pub fn check_header(header: &[u8; HEADER_LEN]) -> Result<u32, WireError> {
@@ -231,6 +253,18 @@ mod tests {
         let (payload, used) = split_frame(&f).unwrap().unwrap();
         assert_eq!(payload, b"hello");
         assert_eq!(used, f.len());
+    }
+
+    #[test]
+    fn in_place_framing_matches_frame_and_appends() {
+        // A frame built with begin/end into a dirty buffer is the same
+        // bytes `frame` produces, appended after the existing contents.
+        let mut buf = b"already-there".to_vec();
+        let mark = begin_frame(&mut buf);
+        buf.extend_from_slice(b"hello");
+        end_frame(&mut buf, mark);
+        assert_eq!(&buf[..mark], b"already-there");
+        assert_eq!(&buf[mark..], &frame(b"hello")[..]);
     }
 
     #[test]
