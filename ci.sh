@@ -88,6 +88,20 @@ for field in '"window"' '"clients"' '"host_cores"'; do
   fi
 done
 
+# 3i. The static-analysis gate: first prove the linter itself works (the
+#     fixture corpus must match its goldens and every rule must fire on
+#     the known-bad files), then lint the whole workspace — zero unwaived
+#     findings allowed — and check the machine-readable report keeps its
+#     schema keys.
+run cargo run --release --offline -q -p rechord_lint --bin rechord-lint -- --fixtures-self-test
+run cargo run --release --offline -q -p rechord_lint --bin rechord-lint -- --root .
+for key in '"schema": "rechord-lint/v1"' '"total_unwaived": 0' '"determinism"' '"net_double_lock"' '"files_scanned"'; do
+  if ! grep -qF "$key" results/lint.json; then
+    echo "ci.sh: results/lint.json lost the $key key" >&2
+    exit 1
+  fi
+done
+
 # 4. Rustdoc must build warning-free (broken intra-doc links are bugs).
 RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace --offline
 

@@ -78,31 +78,34 @@ impl ReChordNetwork {
     pub fn apply_event(
         &mut self,
         event: &ChurnEvent,
-        selector: usize,
+        selector: u64,
         id_seed: u64,
     ) -> Option<Ident> {
         let ids = self.real_ids();
         if ids.is_empty() {
             return None;
         }
+        // Reduce in u64 before narrowing so the chosen index is identical
+        // on 32-bit hosts (plain `selector as usize` would drop high bits).
+        let pick = |ids: &[Ident]| ids[(selector % ids.len() as u64) as usize];
         match event {
             ChurnEvent::Join { address } => {
                 let joiner = rechord_id::hash_address(*address, id_seed);
-                let contact = ids[selector % ids.len()];
+                let contact = pick(&ids);
                 self.join_via(joiner, contact).then_some(joiner)
             }
             ChurnEvent::GracefulLeave => {
                 if ids.len() <= 1 {
                     return None;
                 }
-                let leaver = ids[selector % ids.len()];
+                let leaver = pick(&ids);
                 self.graceful_leave(leaver).then_some(leaver)
             }
             ChurnEvent::Crash => {
                 if ids.len() <= 1 {
                     return None;
                 }
-                let victim = ids[selector % ids.len()];
+                let victim = pick(&ids);
                 self.crash(victim).then_some(victim)
             }
         }
@@ -119,7 +122,7 @@ impl ReChordNetwork {
         let mut outcomes = Vec::with_capacity(plan.events.len());
         for (k, event) in plan.events.iter().enumerate() {
             // deterministic but varying selector
-            let selector = k.wrapping_mul(0x9e37) ^ (id_seed as usize);
+            let selector = (k as u64).wrapping_mul(0x9e37) ^ id_seed;
             if let Some(peer) = self.apply_event(event, selector, id_seed.wrapping_add(k as u64)) {
                 let report = self.run_until_stable(max_rounds_per_event);
                 outcomes.push(ChurnOutcome { peer, report });

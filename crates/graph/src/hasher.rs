@@ -6,13 +6,16 @@
 //! Fx/Firefox multiply-rotate mix — quality is irrelevant here because the
 //! keys themselves are uniform, speed is what matters.
 
+// lint: allow(determinism, "these are re-exported only with the fixed-seed FxStyleHasher below — no RandomState, iteration order is stable")
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// A `HashMap` keyed with [`FxStyleHasher`].
+// lint: allow(determinism, "BuildHasherDefault pins the hasher state — FastMap iteration is deterministic")
 pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxStyleHasher>>;
 
 /// A `HashSet` keyed with [`FxStyleHasher`].
+// lint: allow(determinism, "BuildHasherDefault pins the hasher state — FastSet iteration is deterministic")
 pub type FastSet<K> = HashSet<K, BuildHasherDefault<FxStyleHasher>>;
 
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;

@@ -1,0 +1,519 @@
+//! A hand-rolled Rust lexer: the token stream every lint rule runs on.
+//!
+//! This is *not* a parser — it produces a flat token stream with byte
+//! spans and line numbers, which is exactly enough for the rules in
+//! [`crate::rules`]: an identifier inside a string literal or a comment
+//! is a single `Str`/`Comment` token, so pattern matches on `Ident`
+//! tokens can never fire on quoted or commented-out text. The hard part
+//! of lexing Rust without a grammar is the disambiguation this module
+//! exists for:
+//!
+//! * **nested block comments** — `/* /* */ */` nests to arbitrary depth;
+//! * **raw strings** — `r"…"`, `r#"…"#`, … with any number of hashes,
+//!   including hash runs *inside* the string shorter than the delimiter;
+//! * **char literals vs lifetimes** — `'a'` is a char, `'a` is a
+//!   lifetime, `'_'` is a char, `'_` is a lifetime;
+//! * **raw identifiers vs raw strings** — `r#match` is an identifier,
+//!   `r#"match"#` is a string, bare `r` is an identifier;
+//! * **byte flavors** — `b'x'`, `b"…"`, `br#"…"#`.
+//!
+//! Every byte of the input lands in exactly one token (whitespace and
+//! comments are tokens too), so `concat(tokens) == input` — the
+//! round-trip property the proptests in `tests/` pin.
+
+use std::fmt;
+
+/// Token classes. Rules only distinguish identifiers, literals,
+/// comments, and punctuation; keywords are ordinary [`TokKind::Ident`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// A run of whitespace (kept so the stream reconstructs the input).
+    Ws,
+    /// `// …` (doc variants included), without the trailing newline.
+    LineComment,
+    /// `/* … */`, nesting handled, possibly spanning lines.
+    BlockComment,
+    /// `"…"` or `b"…"` with escapes.
+    Str,
+    /// `r"…"`/`r#"…"#`/`br##"…"##` — raw (byte) string, any hash count.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`, `'\u{1F600}'`.
+    Char,
+    /// `'ident` (including `'_` and loop labels).
+    Lifetime,
+    /// An identifier or keyword, including raw `r#ident`.
+    Ident,
+    /// An integer or float literal, suffix included.
+    Num,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// One token: kind, exact source text, byte span, 1-based start line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// The token class.
+    pub kind: TokKind,
+    /// The exact slice of source text this token covers.
+    pub text: String,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// The identifier name with any `r#` prefix stripped — `r#match`
+    /// names the same thing as `match` for rule-matching purposes.
+    pub fn ident_name(&self) -> &str {
+        self.text.strip_prefix("r#").unwrap_or(&self.text)
+    }
+
+    /// Is this an identifier token with exactly this (r#-stripped) name?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.ident_name() == name
+    }
+
+    /// Is this a punctuation token for `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// Is this trivia (whitespace or a comment)?
+    pub fn is_trivia(&self) -> bool {
+        matches!(self.kind, TokKind::Ws | TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// A lexing failure: unterminated literal or comment, or a stray quote.
+/// Anything that trips this would not compile, so the linter reports it
+/// as a hard diagnostic rather than guessing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line where the offending token started.
+    pub line: u32,
+    /// What was being lexed when the input ran out or went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Character cursor with line tracking.
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor { src, pos: 0, line: 1 }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while matches!(self.peek(), Some(c) if pred(c)) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a complete token stream (trivia included).
+pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
+    let mut cur = Cursor::new(src);
+    let mut toks = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (start, line) = (cur.pos, cur.line);
+        let kind = lex_one(&mut cur, c)?;
+        toks.push(Tok { kind, text: src[start..cur.pos].to_string(), start, end: cur.pos, line });
+    }
+    Ok(toks)
+}
+
+/// Lexes exactly one token starting at `c` (the cursor's current char).
+fn lex_one(cur: &mut Cursor<'_>, c: char) -> Result<TokKind, LexError> {
+    if c.is_whitespace() {
+        cur.eat_while(char::is_whitespace);
+        return Ok(TokKind::Ws);
+    }
+    match c {
+        '/' => match cur.peek_at(1) {
+            Some('/') => {
+                cur.eat_while(|c| c != '\n');
+                Ok(TokKind::LineComment)
+            }
+            Some('*') => lex_block_comment(cur),
+            _ => {
+                cur.bump();
+                Ok(TokKind::Punct('/'))
+            }
+        },
+        '"' => lex_string(cur),
+        '\'' => lex_char_or_lifetime(cur),
+        'r' | 'b' => lex_r_or_b(cur, c),
+        _ if is_ident_start(c) => {
+            cur.eat_while(is_ident_continue);
+            Ok(TokKind::Ident)
+        }
+        _ if c.is_ascii_digit() => {
+            lex_number(cur);
+            Ok(TokKind::Num)
+        }
+        _ => {
+            cur.bump();
+            Ok(TokKind::Punct(c))
+        }
+    }
+}
+
+/// `/* … */` with arbitrary nesting.
+fn lex_block_comment(cur: &mut Cursor<'_>) -> Result<TokKind, LexError> {
+    let line = cur.line;
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some('/'), Some('*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some('*'), Some('/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => {
+                return Err(LexError { line, msg: "unterminated block comment".into() });
+            }
+        }
+    }
+    Ok(TokKind::BlockComment)
+}
+
+/// `"…"` with `\x`-style escapes (a backslash always escapes exactly the
+/// next character, which is sufficient for tokenization — `\u{…}` bodies
+/// are ordinary characters).
+fn lex_string(cur: &mut Cursor<'_>) -> Result<TokKind, LexError> {
+    let line = cur.line;
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            Some('"') => return Ok(TokKind::Str),
+            Some('\\') => {
+                cur.bump(); // the escaped character, whatever it is
+            }
+            Some(_) => {}
+            None => return Err(LexError { line, msg: "unterminated string literal".into() }),
+        }
+    }
+}
+
+/// `r"…"` / `r#"…"#` / `br##"…"##`: `hashes` is the delimiter's hash
+/// count; the body ends only at `"` followed by that many hashes.
+fn lex_raw_string(cur: &mut Cursor<'_>, hashes: usize) -> Result<TokKind, LexError> {
+    let line = cur.line;
+    cur.bump(); // opening quote (prefix and hashes already consumed)
+    loop {
+        match cur.bump() {
+            Some('"') => {
+                let mut seen = 0;
+                while seen < hashes && cur.peek() == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return Ok(TokKind::RawStr);
+                }
+                // Shorter hash run inside the body: still in the string.
+            }
+            Some(_) => {}
+            None => {
+                return Err(LexError { line, msg: "unterminated raw string literal".into() });
+            }
+        }
+    }
+}
+
+/// Disambiguates everything that can start with `r` or `b`: raw strings,
+/// raw identifiers, byte strings, byte chars — or a plain identifier.
+fn lex_r_or_b(cur: &mut Cursor<'_>, c: char) -> Result<TokKind, LexError> {
+    // Look past an optional `r`/`b`/`br` prefix and a run of hashes.
+    let (prefix_len, allows_raw_ident) = match (c, cur.peek_at(1)) {
+        ('b', Some('\'')) => {
+            // b'x' — a byte literal lexes exactly like a char literal.
+            cur.bump();
+            return lex_char_or_lifetime(cur).map(|_| TokKind::Char);
+        }
+        ('b', Some('"')) => {
+            cur.bump();
+            return lex_string(cur).map(|_| TokKind::Str);
+        }
+        ('b', Some('r')) => (2, false), // maybe br#"…"#
+        ('r', _) => (1, true),          // maybe r"…", r#"…"#, or r#ident
+        _ => (0, false),
+    };
+    if prefix_len > 0 {
+        // Count hashes after the prefix, then decide.
+        let mut hashes = 0;
+        while cur.peek_at(prefix_len + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match cur.peek_at(prefix_len + hashes) {
+            Some('"') => {
+                for _ in 0..prefix_len + hashes {
+                    cur.bump();
+                }
+                return lex_raw_string(cur, hashes);
+            }
+            Some(id) if allows_raw_ident && hashes == 1 && is_ident_start(id) => {
+                cur.bump(); // r
+                cur.bump(); // #
+                cur.eat_while(is_ident_continue);
+                return Ok(TokKind::Ident);
+            }
+            _ => {} // fall through: plain identifier starting with r/b
+        }
+    }
+    cur.eat_while(is_ident_continue);
+    Ok(TokKind::Ident)
+}
+
+/// After a `'`: a char literal, a byte char's tail, or a lifetime.
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>) -> Result<TokKind, LexError> {
+    let line = cur.line;
+    cur.bump(); // the quote
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume until the closing quote.
+            cur.bump();
+            cur.bump(); // escaped character
+            loop {
+                match cur.bump() {
+                    Some('\'') => return Ok(TokKind::Char),
+                    Some(_) => {} // \u{…} body
+                    None => {
+                        return Err(LexError { line, msg: "unterminated char literal".into() });
+                    }
+                }
+            }
+        }
+        Some(c) if is_ident_start(c) => {
+            // Could be 'a' (char) or 'a / 'static (lifetime): scan the
+            // identifier run, then look for a closing quote.
+            cur.eat_while(is_ident_continue);
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                Ok(TokKind::Char)
+            } else {
+                Ok(TokKind::Lifetime)
+            }
+        }
+        Some('\'') => Err(LexError { line, msg: "empty char literal".into() }),
+        Some(_) => {
+            // Non-identifier single char like '1' or '+': needs a close.
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                Ok(TokKind::Char)
+            } else {
+                Err(LexError { line, msg: "unterminated char literal".into() })
+            }
+        }
+        None => Err(LexError { line, msg: "unterminated char literal".into() }),
+    }
+}
+
+/// Integer or float literal: prefix (`0x`/`0o`/`0b`), digits, optional
+/// `.digits`, optional exponent, optional type suffix. Never consumes a
+/// `.` that is not followed by a digit, so ranges (`1..5`) and method
+/// calls on literals (`1.max(2)`) stay separate tokens.
+fn lex_number(cur: &mut Cursor<'_>) {
+    let radix_prefix = matches!(
+        (cur.peek(), cur.peek_at(1)),
+        (Some('0'), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'))
+    );
+    if radix_prefix {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|c| c.is_alphanumeric() || c == '_');
+        return;
+    }
+    cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+    if cur.peek() == Some('.') && matches!(cur.peek_at(1), Some(d) if d.is_ascii_digit()) {
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+    }
+    if matches!(cur.peek(), Some('e' | 'E')) {
+        let exp_ok = match cur.peek_at(1) {
+            Some(d) if d.is_ascii_digit() => true,
+            Some('+' | '-') => matches!(cur.peek_at(2), Some(d) if d.is_ascii_digit()),
+            _ => false,
+        };
+        if exp_ok {
+            cur.bump(); // e
+            if matches!(cur.peek(), Some('+' | '-')) {
+                cur.bump();
+            }
+            cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // Type suffix (u32, f64, usize, …) or the rest of an alphanumeric run.
+    cur.eat_while(is_ident_continue);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .expect("fixture input lexes")
+            .into_iter()
+            .filter(|t| !t.is_trivia())
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let toks = lex(src).expect("input lexes");
+        let rebuilt: String = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(rebuilt, src, "token concatenation must reproduce the input");
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos, "spans must be contiguous");
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* one /* two /* three */ two */ one */ b";
+        let k = kinds(src);
+        assert_eq!(k.len(), 2);
+        assert!(k.iter().all(|(kind, _)| *kind == TokKind::Ident));
+        roundtrip(src);
+        // An ident buried in a comment is not an Ident token.
+        let toks = lex("/* HashMap */").unwrap();
+        assert!(toks.iter().all(|t| t.kind != TokKind::Ident));
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_an_error() {
+        assert!(lex("/* /* */").is_err());
+        assert!(lex("fn f() { \"open").is_err());
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        // The body contains a shorter hash run and a bare quote.
+        let src = r####"let s = r###"inside "# and "## still inside"###;"####;
+        let k = kinds(src);
+        assert!(k.iter().any(|(kind, _)| *kind == TokKind::RawStr));
+        assert!(!k.iter().any(|(_, text)| text == "inside"));
+        roundtrip(src);
+        // Zero hashes and byte-raw flavors.
+        roundtrip("let a = r\"zero\"; let b = br#\"bytes\"#;");
+        let k = kinds("br##\"x\"##");
+        assert_eq!(k, vec![(TokKind::RawStr, "br##\"x\"##".to_string())]);
+    }
+
+    #[test]
+    fn raw_ident_vs_raw_string_vs_plain_r() {
+        let k = kinds("r#match r#\"s\"# r rabbit");
+        assert_eq!(
+            k,
+            vec![
+                (TokKind::Ident, "r#match".to_string()),
+                (TokKind::RawStr, "r#\"s\"#".to_string()),
+                (TokKind::Ident, "r".to_string()),
+                (TokKind::Ident, "rabbit".to_string()),
+            ]
+        );
+        let t = lex("r#match").unwrap();
+        assert_eq!(t[0].ident_name(), "match");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let k = kinds("<'a> 'a' '_ '_' 'static '\\n' '\\'' b'x' 'x: loop");
+        let lifetimes: Vec<&str> = k
+            .iter()
+            .filter(|(kind, _)| *kind == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        let chars: Vec<&str> =
+            k.iter().filter(|(kind, _)| *kind == TokKind::Char).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(lifetimes, vec!["'a", "'_", "'static", "'x"]);
+        assert_eq!(chars, vec!["'a'", "'_'", "'\\n'", "'\\''", "b'x'"]);
+    }
+
+    #[test]
+    fn strings_with_escapes_hide_idents() {
+        let src = r#"let s = "HashMap \" Instant::now() \\";"#;
+        let k = kinds(src);
+        assert!(!k.iter().any(|(_, t)| t == "HashMap" || t == "Instant"));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let k = kinds("1..5 1.5 1.max(2) 0x1f_u64 1e9 1e+9 2.5e-3 x.0");
+        let nums: Vec<&str> =
+            k.iter().filter(|(kind, _)| *kind == TokKind::Num).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(nums, vec!["1", "5", "1.5", "1", "2", "0x1f_u64", "1e9", "1e+9", "2.5e-3", "0"]);
+        roundtrip("for i in 0..n { v[i] = i as u32; }");
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let src = "a\n/* b\nc */\nd \"two\nline\" e";
+        let toks = lex(src).unwrap();
+        let find = |name: &str| toks.iter().find(|t| t.text == name).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("d"), Some(4));
+        assert_eq!(find("e"), Some(5));
+    }
+
+    #[test]
+    fn doc_comments_and_attributes_roundtrip() {
+        roundtrip("/// doc `HashMap`\n//! inner\n#[allow(dead_code)] // why\nfn f() {}\n");
+    }
+}

@@ -1,0 +1,240 @@
+//! `rechord-lint`: the workspace's determinism & concurrency-discipline
+//! linter.
+//!
+//! The reproduction's headline claims — byte-identical replay across
+//! hosts, a data plane that never deadlocks or wedges behind a corked
+//! buffer — are *properties of the source*, and `cargo test` can only
+//! sample them. This crate enforces them statically, with a hand-rolled
+//! Rust lexer ([`lexer`]) and token-level rule passes ([`rules`]):
+//!
+//! | rule | what it bans |
+//! |------|--------------|
+//! | `determinism` | wall-clock (`Instant::now`, `SystemTime`), ambient RNG (`thread_rng`), and hash-ordered containers (`HashMap`, `HashSet`, `RandomState`) in the deterministic crates |
+//! | `net_flush_discipline` | blocking `recv` in a `crates/net` function that corked frames without an intervening `flush` |
+//! | `net_double_lock` | any `crates/net` function holding two writer locks at once |
+//! | `unwrap_audit` | bare `.unwrap()` (and message-less `.expect`) in library code |
+//! | `cast_truncation` | truncating `as` casts on 64-bit ring math |
+//! | `allow_audit` | `#[allow(…)]` attributes and inline waivers without a written justification |
+//! | `lex_error` | source the lexer cannot tokenise (internal; should never fire on `rustc`-accepted code) |
+//!
+//! Findings can be waived in place with
+//! `// lint: allow(rule, "justification")` — see [`waiver`]. Unjustified
+//! waivers suppress nothing and are themselves findings, so the gate
+//! cannot be silenced without leaving a written trail; every justified
+//! waiver is counted in the report ([`report`]).
+//!
+//! The binary (`cargo run -p rechord_lint --bin rechord-lint`) prints
+//! human `file:line` diagnostics, writes `results/lint.json`, and exits
+//! nonzero when any unwaived finding remains. `ci.sh` runs it after the
+//! fixture self-test ([`fixtures`]), which proves every rule both fires
+//! on known-bad code and stays quiet on known-good code.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+pub mod waiver;
+
+#[cfg(test)]
+mod proptests;
+
+use lexer::Tok;
+use report::Report;
+use rules::{FileCtx, Finding, WaiverRecord};
+use scan::SourceFile;
+use std::path::Path;
+
+/// Lints one already-lexed file: runs every rule pass, then applies the
+/// file's inline waivers to the findings. Returns the (possibly waived)
+/// findings and all justified waiver records.
+pub fn lint_tokens(
+    rel: &str,
+    krate: &str,
+    is_bin: bool,
+    is_test_file: bool,
+    toks: &[Tok],
+) -> (Vec<Finding>, Vec<WaiverRecord>) {
+    let ctx = FileCtx::new(rel, krate, is_bin, is_test_file, toks);
+    let (mut findings, mut waivers) = rules::run_all(&ctx);
+    waivers.extend(waiver::apply(toks, rel, &mut findings));
+    (findings, waivers)
+}
+
+/// Lints one source file, mapping lexer failure to a `lex_error`
+/// finding rather than aborting the run.
+pub fn lint_file(sf: &SourceFile) -> (Vec<Finding>, Vec<WaiverRecord>) {
+    match lexer::lex(&sf.text) {
+        Ok(toks) => lint_tokens(&sf.rel, &sf.krate, sf.is_bin, sf.is_test_file, &toks),
+        Err(e) => {
+            let f = Finding {
+                rule: "lex_error",
+                file: sf.rel.clone(),
+                line: e.line,
+                message: format!("cannot tokenise file: {}", e.msg),
+                waived: false,
+                justification: None,
+            };
+            (vec![f], Vec::new())
+        }
+    }
+}
+
+/// Lints the whole workspace under `root` and assembles the report.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = scan::collect_workspace(root)?;
+    let mut findings = Vec::new();
+    let mut waivers = Vec::new();
+    for sf in &files {
+        let (f, w) = lint_file(sf);
+        findings.extend(f);
+        waivers.extend(w);
+    }
+    Ok(Report::new(files.len(), findings, waivers))
+}
+
+pub mod fixtures {
+    //! The fixture corpus and its self-test.
+    //!
+    //! Fixtures live in `tests/fixtures/{good,bad}/*.rs`. Each file
+    //! opens with directive comments that set its policy classification:
+    //!
+    //! ```text
+    //! //@ crate: net          (default: sim)
+    //! //@ bin                 (classify as a binary target)
+    //! //@ test-file           (classify as a #[cfg(test)] module file)
+    //! ```
+    //!
+    //! Every fixture has a `.expected` sidecar golden holding the exact
+    //! diagnostic lines the linter must produce for it (empty for clean
+    //! fixtures). The self-test additionally asserts the corpus shape:
+    //! `good/` fixtures produce **zero unwaived** findings, `bad/`
+    //! fixtures produce **at least one**, and every rule in
+    //! [`rules::RULES`](crate::rules::RULES) fires somewhere in `bad/` —
+    //! so a regression that silently disables a rule pass cannot slip
+    //! through.
+
+    use crate::rules::RULES;
+    use std::fmt::Write as _;
+    use std::path::{Path, PathBuf};
+
+    /// Policy classification parsed from a fixture's `//@` directives.
+    #[derive(Default)]
+    pub struct Directives {
+        /// `//@ crate: <name>` (defaults to `sim`, a deterministic crate).
+        pub krate: Option<String>,
+        /// `//@ bin`.
+        pub is_bin: bool,
+        /// `//@ test-file`.
+        pub is_test_file: bool,
+    }
+
+    /// Parses the `//@` directive header of a fixture.
+    pub fn directives(text: &str) -> Directives {
+        let mut d = Directives::default();
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("//@") else { continue };
+            let rest = rest.trim();
+            if let Some(k) = rest.strip_prefix("crate:") {
+                d.krate = Some(k.trim().to_string());
+            } else if rest == "bin" {
+                d.is_bin = true;
+            } else if rest == "test-file" {
+                d.is_test_file = true;
+            }
+        }
+        d
+    }
+
+    /// Lints one fixture text and renders its diagnostic lines — the
+    /// format the `.expected` goldens pin.
+    pub fn lint_to_diagnostics(name: &str, text: &str) -> String {
+        let d = directives(text);
+        let krate = d.krate.as_deref().unwrap_or("sim");
+        let sf = crate::scan::SourceFile {
+            rel: name.to_string(),
+            krate: krate.to_string(),
+            is_bin: d.is_bin,
+            is_test_file: d.is_test_file,
+            text: text.to_string(),
+        };
+        let (findings, _) = crate::lint_file(&sf);
+        let mut out = String::new();
+        for f in &findings {
+            let tag = if f.waived { " (waived)" } else { "" };
+            let _ = writeln!(out, "{}:{}: [{}]{tag} {}", f.file, f.line, f.rule, f.message);
+        }
+        out
+    }
+
+    /// The default fixtures root: `tests/fixtures` next to this crate.
+    pub fn default_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+    }
+
+    /// Runs the full self-test; `Ok` carries a one-line summary, `Err` a
+    /// report of every divergence from the goldens or corpus shape.
+    pub fn self_test(fixtures_root: &Path) -> Result<String, String> {
+        let mut errors = String::new();
+        let mut fired: Vec<&str> = Vec::new();
+        let mut n_good = 0usize;
+        let mut n_bad = 0usize;
+        for (dir, want_bad) in [("good", false), ("bad", true)] {
+            let dir_path = fixtures_root.join(dir);
+            let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir_path)
+                .map_err(|e| format!("cannot read {}: {e}", dir_path.display()))?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+                .collect();
+            paths.sort();
+            for path in paths {
+                let name =
+                    format!("{dir}/{}", path.file_name().and_then(|n| n.to_str()).unwrap_or("?"));
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {name}: {e}"))?;
+                let actual = lint_to_diagnostics(&name, &text);
+                let golden_path = path.with_extension("expected");
+                let expected = std::fs::read_to_string(&golden_path).unwrap_or_default();
+                if actual.trim_end() != expected.trim_end() {
+                    let _ = writeln!(
+                        errors,
+                        "golden mismatch for {name}:\n--- expected\n{expected}--- actual\n{actual}"
+                    );
+                }
+                let unwaived = actual.lines().filter(|l| !l.contains("(waived)")).count();
+                if want_bad {
+                    n_bad += 1;
+                    if unwaived == 0 {
+                        let _ =
+                            writeln!(errors, "{name}: bad fixture produced no unwaived finding");
+                    }
+                    for rule in RULES {
+                        if actual.contains(&format!("[{rule}]")) && !fired.contains(&rule) {
+                            fired.push(rule);
+                        }
+                    }
+                } else {
+                    n_good += 1;
+                    if unwaived != 0 {
+                        let _ = writeln!(
+                            errors,
+                            "{name}: good fixture produced {unwaived} unwaived finding(s):\n{actual}"
+                        );
+                    }
+                }
+            }
+        }
+        for rule in RULES {
+            if !fired.contains(&rule) {
+                let _ = writeln!(errors, "rule `{rule}` never fired across the bad corpus");
+            }
+        }
+        if errors.is_empty() {
+            Ok(format!(
+                "fixtures self-test: {n_good} good + {n_bad} bad fixtures OK, all {} rules fired",
+                RULES.len()
+            ))
+        } else {
+            Err(errors)
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! `rechord-lint` binary: lint the workspace, write `results/lint.json`,
+//! exit nonzero on unwaived findings.
+//!
+//! ```text
+//! rechord-lint [--root <dir>] [--json <path>] [--fixtures-self-test]
+//! ```
+//!
+//! * `--root` — workspace root to scan (default: current directory).
+//! * `--json` — where to write the machine-readable report (default:
+//!   `<root>/results/lint.json`).
+//! * `--fixtures-self-test` — instead of linting the tree, run the
+//!   fixture corpus self-test (exit 0 iff every golden matches and every
+//!   rule fired on the bad corpus).
+//!
+//! Exit codes: `0` clean (or self-test passed), `1` unwaived findings
+//! (or self-test failed), `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<PathBuf> = None;
+    let mut self_test = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage("--json needs a value"),
+            },
+            "--fixtures-self-test" => self_test = true,
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if self_test {
+        return match rechord_lint::fixtures::self_test(&rechord_lint::fixtures::default_root()) {
+            Ok(summary) => {
+                println!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(report) => {
+                eprint!("{report}");
+                eprintln!("fixtures self-test FAILED");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let report = match rechord_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rechord-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.human());
+    let json_path = json.unwrap_or_else(|| root.join("results/lint.json"));
+    if let Some(dir) = json_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("rechord-lint: cannot create {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&json_path, report.json()) {
+        eprintln!("rechord-lint: cannot write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+    println!("report: {}", json_path.display());
+    if report.unwaived().next().is_some() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("rechord-lint: {err}");
+    eprintln!("usage: rechord-lint [--root <dir>] [--json <path>] [--fixtures-self-test]");
+    ExitCode::from(2)
+}

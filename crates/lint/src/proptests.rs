@@ -1,0 +1,145 @@
+//! Property tests for the hand-rolled lexer.
+//!
+//! The generator assembles random Rust-ish token soup from fragments the
+//! lexer must disambiguate — nested block comments, raw strings with
+//! arbitrary hash fences, char literals vs lifetimes, byte flavors —
+//! and plants a banned identifier (`HashMap`) inside the *opaque*
+//! fragments. Three properties must hold for every sample:
+//!
+//! 1. the lexer accepts the input (every fragment is well-formed);
+//! 2. concatenating the token texts reproduces the input byte for byte;
+//! 3. identifiers planted inside strings and comments are invisible to
+//!    the token stream, while identifiers planted as code are visible —
+//!    the exact property the determinism rule's precision rests on.
+
+use crate::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// One generated fragment: source text plus whether it hides `HashMap`
+/// inside an opaque (string/comment) body.
+#[derive(Clone, Debug)]
+struct Frag {
+    text: String,
+    hides_planted: bool,
+    needs_newline: bool,
+}
+
+fn frag(text: String) -> Frag {
+    Frag { text, hides_planted: false, needs_newline: false }
+}
+
+fn fragments() -> impl Strategy<Value = Frag> {
+    prop_oneof![
+        // Plain identifiers, keywords, numbers, punctuation.
+        any::<u64>().prop_map(|n| frag(format!("w{n:x}"))),
+        prop_oneof![
+            Just("fn"),
+            Just("let"),
+            Just("match"),
+            Just("1_000u64"),
+            Just("0xff"),
+            Just("2.5e-3"),
+            Just("->"),
+            Just("::"),
+            Just(";"),
+            Just("#[cfg(test)]"),
+        ]
+        .prop_map(|s: &str| frag(s.to_string())),
+        // Lifetimes and char literals, including the hard cases.
+        prop_oneof![
+            Just("'a'"),
+            Just("'\\n'"),
+            Just("'\\''"),
+            Just("b'x'"),
+            Just("'a"),
+            Just("'_"),
+            Just("'static"),
+        ]
+        .prop_map(|s: &str| frag(s.to_string())),
+        // Nested block comments hiding the planted ident.
+        (1usize..4).prop_map(|depth| Frag {
+            text: format!("{} HashMap {}", "/*".repeat(depth), "*/".repeat(depth)),
+            hides_planted: true,
+            needs_newline: false,
+        }),
+        // Line comments run to end of line; the joiner must break them.
+        Just(()).prop_map(|()| Frag {
+            text: "// HashMap in a line comment".to_string(),
+            hides_planted: true,
+            needs_newline: true,
+        }),
+        // Plain strings with escapes.
+        Just(()).prop_map(|()| Frag {
+            text: "\"HashMap \\\" still inside \\\\\"".to_string(),
+            hides_planted: true,
+            needs_newline: false,
+        }),
+        // Raw strings whose bodies contain quotes and shorter hash runs.
+        (1usize..4).prop_map(|hashes| {
+            let fence = "#".repeat(hashes);
+            let inner_fence = "#".repeat(hashes - 1);
+            Frag {
+                text: format!("r{fence}\"HashMap \"{inner_fence} body\"{fence}"),
+                hides_planted: true,
+                needs_newline: false,
+            }
+        }),
+        // Byte-raw flavor and raw identifiers.
+        Just(()).prop_map(|()| Frag {
+            text: "br#\"HashMap bytes\"#".to_string(),
+            hides_planted: true,
+            needs_newline: false,
+        }),
+        Just("r#match").prop_map(|s: &str| frag(s.to_string())),
+    ]
+}
+
+proptest! {
+    /// Round-trip, acceptance, and literal opacity over random soup.
+    #[test]
+    fn lexer_roundtrips_random_soup(frags in prop::collection::vec(fragments(), 0..24)) {
+        let mut src = String::new();
+        let mut any_hidden = false;
+        for f in &frags {
+            src.push_str(&f.text);
+            src.push(if f.needs_newline { '\n' } else { ' ' });
+            any_hidden |= f.hides_planted;
+        }
+        // Make the visible control ident part of every non-empty sample.
+        if !frags.is_empty() {
+            src.push_str("visible_marker");
+        }
+        let toks = lex(&src).unwrap();
+        // 2: byte-for-byte reconstruction.
+        let rebuilt: String = toks.iter().map(|t| t.text.as_str()).collect();
+        prop_assert_eq!(&rebuilt, &src);
+        // 3: opacity — planted idents never surface; visible ones do.
+        let idents: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.ident_name()).collect();
+        if any_hidden {
+            prop_assert!(!idents.contains(&"HashMap"), "literal leaked an ident: {:?}", idents);
+        }
+        if !frags.is_empty() {
+            prop_assert!(idents.contains(&"visible_marker"));
+        }
+    }
+
+    /// Line numbers are monotone and match the newline count.
+    #[test]
+    fn line_numbers_are_monotone(frags in prop::collection::vec(fragments(), 0..16)) {
+        let mut src = String::new();
+        for f in &frags {
+            src.push_str(&f.text);
+            src.push(if f.needs_newline { '\n' } else { ' ' });
+            src.push('\n');
+        }
+        let toks = lex(&src).unwrap();
+        let mut last = 1;
+        for t in &toks {
+            prop_assert!(t.line >= last);
+            last = t.line;
+        }
+        let newlines = src.matches('\n').count() as u32;
+        prop_assert!(last <= newlines + 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! The lint report: human diagnostics and machine-readable JSON.
+//!
+//! The JSON schema (`results/lint.json`, checked by ci.sh) is:
+//!
+//! ```json
+//! {
+//!   "schema": "rechord-lint/v1",
+//!   "files_scanned": 93,
+//!   "rules": {
+//!     "determinism": {
+//!       "findings": [{"file": "...", "line": 7, "message": "...",
+//!                     "waived": true, "justification": "..."}],
+//!       "waivers":  [{"file": "...", "line": 7, "kind": "inline",
+//!                     "justification": "...", "used": true}],
+//!       "finding_count": 1, "waived_count": 1, "unwaived_count": 0,
+//!       "waiver_count": 1
+//!     }, ...
+//!   },
+//!   "total_findings": 1, "total_waived": 1, "total_unwaived": 0,
+//!   "total_waivers": 12
+//! }
+//! ```
+//!
+//! The JSON is hand-rolled (no serde in this workspace); keys are
+//! emitted in a fixed order so the file is byte-stable run to run.
+
+use crate::rules::{Finding, WaiverKind, WaiverRecord, RULES};
+use std::fmt::Write as _;
+
+/// Everything one lint run produced.
+pub struct Report {
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// All findings, waived or not, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// All justified waivers, sorted by (file, line, rule).
+    pub waivers: Vec<WaiverRecord>,
+}
+
+impl Report {
+    /// Builds a report, sorting both lists into stable order.
+    pub fn new(
+        files_scanned: usize,
+        mut findings: Vec<Finding>,
+        mut waivers: Vec<WaiverRecord>,
+    ) -> Self {
+        findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        waivers.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        Report { files_scanned, findings, waivers }
+    }
+
+    /// Findings not covered by a justified waiver.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    /// Human diagnostics: one `file:line: [rule] message` per finding
+    /// (waived ones tagged), then a summary line.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let tag = if f.waived { " (waived)" } else { "" };
+            let _ = writeln!(out, "{}:{}: [{}]{tag} {}", f.file, f.line, f.rule, f.message);
+        }
+        let unwaived = self.unwaived().count();
+        let _ = writeln!(
+            out,
+            "rechord-lint: {} file(s), {} finding(s) ({} waived, {} unwaived), {} waiver(s)",
+            self.files_scanned,
+            self.findings.len(),
+            self.findings.len() - unwaived,
+            unwaived,
+            self.waivers.len(),
+        );
+        out
+    }
+
+    /// The machine-readable report (see module docs for the schema).
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"rechord-lint/v1\",");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        out.push_str("  \"rules\": {\n");
+        for (ri, rule) in RULES.iter().enumerate() {
+            let findings: Vec<&Finding> =
+                self.findings.iter().filter(|f| f.rule == *rule).collect();
+            let waivers: Vec<&WaiverRecord> =
+                self.waivers.iter().filter(|w| w.rule == *rule).collect();
+            let waived = findings.iter().filter(|f| f.waived).count();
+            let _ = writeln!(out, "    \"{rule}\": {{");
+            out.push_str("      \"findings\": [");
+            for (i, f) in findings.iter().enumerate() {
+                let sep = if i == 0 { "\n" } else { ",\n" };
+                let _ = write!(
+                    out,
+                    "{sep}        {{\"file\": {}, \"line\": {}, \"message\": {}, \
+                     \"waived\": {}, \"justification\": {}}}",
+                    json_str(&f.file),
+                    f.line,
+                    json_str(&f.message),
+                    f.waived,
+                    f.justification.as_deref().map_or("null".to_string(), json_str),
+                );
+            }
+            out.push_str(if findings.is_empty() { "],\n" } else { "\n      ],\n" });
+            out.push_str("      \"waivers\": [");
+            for (i, w) in waivers.iter().enumerate() {
+                let kind = match w.kind {
+                    WaiverKind::Inline => "inline",
+                    WaiverKind::AllowAttr => "allow-attr",
+                    WaiverKind::ExpectMessage => "expect-message",
+                };
+                let sep = if i == 0 { "\n" } else { ",\n" };
+                let _ = write!(
+                    out,
+                    "{sep}        {{\"file\": {}, \"line\": {}, \"kind\": \"{kind}\", \
+                     \"justification\": {}, \"used\": {}}}",
+                    json_str(&w.file),
+                    w.line,
+                    json_str(&w.justification),
+                    w.used,
+                );
+            }
+            out.push_str(if waivers.is_empty() { "],\n" } else { "\n      ],\n" });
+            let _ = writeln!(out, "      \"finding_count\": {},", findings.len());
+            let _ = writeln!(out, "      \"waived_count\": {waived},");
+            let _ = writeln!(out, "      \"unwaived_count\": {},", findings.len() - waived);
+            let _ = writeln!(out, "      \"waiver_count\": {}", waivers.len());
+            out.push_str(if ri + 1 == RULES.len() { "    }\n" } else { "    },\n" });
+        }
+        out.push_str("  },\n");
+        let waived = self.findings.iter().filter(|f| f.waived).count();
+        let _ = writeln!(out, "  \"total_findings\": {},", self.findings.len());
+        let _ = writeln!(out, "  \"total_waived\": {waived},");
+        let _ = writeln!(out, "  \"total_unwaived\": {},", self.findings.len() - waived);
+        let _ = writeln!(out, "  \"total_waivers\": {}", self.waivers.len());
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// JSON string escaping for the characters that can occur in paths,
+/// messages, and justification strings.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_report_has_all_rule_keys_and_zero_totals() {
+        let r = Report::new(3, Vec::new(), Vec::new());
+        let j = r.json();
+        for rule in RULES {
+            assert!(j.contains(&format!("\"{rule}\"")), "missing rule key {rule}");
+        }
+        assert!(j.contains("\"total_unwaived\": 0"));
+        assert!(j.contains("\"schema\": \"rechord-lint/v1\""));
+    }
+}

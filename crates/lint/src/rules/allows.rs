@@ -1,0 +1,108 @@
+//! Rule `allow_audit`: every suppressed diagnostic carries a written why.
+//!
+//! Two suppression mechanisms exist in this workspace, and both must be
+//! justified so the report can count them:
+//!
+//! * **`#[allow(…)]` attributes** (compiler/clippy lints): justified by
+//!   a `//` comment on the same line as the attribute, or on the line
+//!   directly above it. Justified allows become waiver records;
+//!   unjustified ones are findings.
+//! * **inline lint waivers** — `// lint: allow(rule, "justification")`,
+//!   the syntax [`crate::waiver`] consumes to suppress this linter's own
+//!   findings. A waiver missing its justification string, or naming an
+//!   unknown rule, is itself a finding here (and suppresses nothing).
+//!
+//! This rule intentionally covers test spans too: a suppression is a
+//! suppression wherever it lives, and the justification is cheap.
+
+use super::{attr_spans, FileCtx, Finding, WaiverKind, WaiverRecord, RULES};
+use crate::lexer::TokKind;
+use crate::waiver;
+
+/// Runs the audit over one file.
+pub fn run(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>, waivers: &mut Vec<WaiverRecord>) {
+    audit_allow_attrs(ctx, findings, waivers);
+    audit_inline_waivers(ctx, findings);
+}
+
+fn audit_allow_attrs(
+    ctx: &FileCtx<'_>,
+    findings: &mut Vec<Finding>,
+    waivers: &mut Vec<WaiverRecord>,
+) {
+    for (start, end, inner) in attr_spans(&ctx.sig) {
+        // The attribute's first path segment must be `allow`.
+        let name_at = start + if inner { 3 } else { 2 };
+        if !ctx.sig.get(name_at).is_some_and(|t| t.is_ident("allow")) {
+            continue;
+        }
+        let lints: Vec<&str> = ctx.sig[name_at..end]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && !t.is_ident("allow"))
+            .map(|t| t.ident_name())
+            .collect();
+        let what = format!("#[allow({})]", lints.join(", "));
+        let attr_line = ctx.sig[start].line;
+        let end_line = ctx.sig[end.saturating_sub(1)].line;
+        match attr_justification(ctx, attr_line, end_line) {
+            Some(justification) => waivers.push(WaiverRecord {
+                rule: "allow_audit".to_string(),
+                file: ctx.rel.to_string(),
+                line: attr_line,
+                justification,
+                kind: WaiverKind::AllowAttr,
+                used: true,
+            }),
+            None => findings.push(ctx.finding(
+                "allow_audit",
+                attr_line,
+                format!("{what} without a justification comment (same line or the line above)"),
+            )),
+        }
+    }
+}
+
+/// A `//` comment trailing the attribute (lines `attr_line..=end_line`)
+/// or sitting on the line directly above it, with non-empty content.
+fn attr_justification(ctx: &FileCtx<'_>, attr_line: u32, end_line: u32) -> Option<String> {
+    for t in ctx.all {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let trailing = t.line >= attr_line && t.line <= end_line;
+        let above = t.line + 1 == attr_line;
+        if trailing || above {
+            let text = t.text.trim_start_matches('/').trim();
+            if !text.is_empty() && !text.starts_with("lint: allow(") {
+                return Some(text.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Malformed inline waivers are findings; well-formed ones are handled
+/// (and recorded) by the waiver pass in [`crate::lint_tokens`].
+///
+/// [`crate::lint_tokens`]: crate::lint_tokens
+fn audit_inline_waivers(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    for w in waiver::parse_comments(ctx.all) {
+        if w.justification.is_none() {
+            findings.push(ctx.finding(
+                "allow_audit",
+                w.line,
+                format!(
+                    "waiver `lint: allow({})` without a justification string \
+                     (write `lint: allow({}, \"why\")`)",
+                    w.rule, w.rule
+                ),
+            ));
+        } else if !RULES.contains(&w.rule.as_str()) {
+            findings.push(ctx.finding(
+                "allow_audit",
+                w.line,
+                format!("waiver names unknown rule `{}`", w.rule),
+            ));
+        }
+    }
+}

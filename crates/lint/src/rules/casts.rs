@@ -1,0 +1,100 @@
+//! Rule `cast_truncation`: no silently-truncating `as` casts on ring math.
+//!
+//! Identifiers, ring distances, and keys are 64-bit everywhere in this
+//! workspace; an `expr as u32`-style cast silently drops the high bits
+//! (and `as usize` does the same on a 32-bit host — exactly the "works
+//! on my machine" hazard the replay tests cannot catch locally). The
+//! rule fires when
+//!
+//! * the cast target is a narrower-or-platform-sized integer
+//!   (`u8`…`u32`, `i8`…`i32`, `usize`, `isize`), **and**
+//! * the cast *source expression* mentions ring math: an identifier one
+//!   of whose `_`-separated components is `ident`, `id`, `key`, `keys`,
+//!   `dist`, `ring`, `arc`, or `mix` (the keyed-hash primitive).
+//!
+//! Length casts (`v.len() as u32`), loop counters, and byte fiddling do
+//! not mention ring-math names and stay exempt. The source expression is
+//! recovered by walking tokens backward from the `as`, skipping over
+//! balanced bracket groups, until the expression's own boundary (`;`,
+//! `,`, `=`, an unmatched opener, or a brace). A `%`, `min`, or
+//! `rem_euclid` encountered on the way — i.e. *after* the ring-math
+//! value was produced — marks the value as already reduced into range,
+//! and the cast is exempt: `(mix(&k) % len as u64) as usize` is the
+//! blessed pattern this rule pushes code toward.
+
+use super::{FileCtx, Finding};
+use crate::lexer::TokKind;
+
+/// Cast targets that can truncate a `u64`.
+const NARROW: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+/// Ring-math name components (matched against `_`-separated, lowercased
+/// identifier parts; `ident` also matches as an infix, e.g. `Ident`).
+const MARKERS: [&str; 8] = ["ident", "id", "key", "keys", "dist", "ring", "arc", "mix"];
+
+/// Runs the rule over one file.
+pub fn run(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if ctx.is_bin || ctx.is_test_file {
+        return;
+    }
+    for i in 0..ctx.sig.len() {
+        if ctx.in_test(i) || !ctx.sig[i].is_ident("as") {
+            continue;
+        }
+        let Some(target) = ctx.sig.get(i + 1) else { continue };
+        if target.kind != TokKind::Ident || !NARROW.contains(&target.ident_name()) {
+            continue;
+        }
+        if let Some(marker) = source_marker(ctx, i) {
+            findings.push(ctx.finding(
+                "cast_truncation",
+                ctx.sig[i].line,
+                format!(
+                    "truncating cast `as {}` on ring math (source mentions `{marker}`); \
+                     keep 64-bit, or reduce with `%`/`min` before narrowing",
+                    target.ident_name()
+                ),
+            ));
+        }
+    }
+}
+
+/// Walks backward from the `as` at `idx` through the cast's source
+/// expression and returns the first ring-math identifier found, if any.
+fn source_marker(ctx: &FileCtx<'_>, idx: usize) -> Option<String> {
+    let mut depth = 0i32;
+    let mut j = idx;
+    let mut budget = 64; // bound pathological expressions
+    while j > 0 && budget > 0 {
+        j -= 1;
+        budget -= 1;
+        let t = ctx.sig[j];
+        match t.kind {
+            TokKind::Punct(')' | ']') => depth += 1,
+            TokKind::Punct('(' | '[') => {
+                if depth == 0 {
+                    return None; // opener of the enclosing group: expression starts here
+                }
+                depth -= 1;
+            }
+            TokKind::Punct(';' | ',' | '=' | '{' | '}') if depth == 0 => return None,
+            // A reduction between the ring-math value and the cast means
+            // the value is already in range — the cast cannot truncate it.
+            TokKind::Punct('%') => return None,
+            TokKind::Ident if t.is_ident("min") || t.is_ident("rem_euclid") => return None,
+            TokKind::Ident if is_marker(t.ident_name()) => {
+                return Some(t.ident_name().to_string());
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn is_marker(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    if lower.contains("ident") {
+        return true;
+    }
+    lower.split('_').any(|part| MARKERS.contains(&part))
+}

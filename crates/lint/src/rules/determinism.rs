@@ -1,0 +1,48 @@
+//! Rule `determinism`: no nondeterminism sources in deterministic crates.
+//!
+//! Every bound this repository reproduces is asserted by bit-identical
+//! replay (shard parity, transport parity, adversary fraction-0 parity).
+//! A single wall-clock read, ambient-RNG draw, or hash-order iteration
+//! inside the replayed crates can corrupt a trace on one host and not
+//! another — silently. This rule bans, in the crates listed in
+//! [`super::DETERMINISTIC_CRATES`] (test spans excluded):
+//!
+//! * **wall clock** — `Instant`, `SystemTime`;
+//! * **ambient RNG** — `thread_rng`;
+//! * **hash order** — `HashMap`, `HashSet`, `RandomState`.
+//!
+//! `net` and `bench` are policy-exempt: sockets need deadlines and
+//! benchmarks need clocks. The match is on identifier *tokens*, so the
+//! banned names inside strings, comments, or docs never fire.
+
+use super::{FileCtx, Finding, DETERMINISTIC_CRATES};
+use crate::lexer::TokKind;
+
+/// `(identifier, hazard-class)` pairs the rule fires on.
+const BANNED: [(&str, &str); 6] = [
+    ("Instant", "wall-clock"),
+    ("SystemTime", "wall-clock"),
+    ("thread_rng", "ambient-RNG"),
+    ("HashMap", "hash-order"),
+    ("HashSet", "hash-order"),
+    ("RandomState", "hash-order"),
+];
+
+/// Runs the rule over one file.
+pub fn run(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if !DETERMINISTIC_CRATES.contains(&ctx.krate) {
+        return;
+    }
+    for (i, tok) in ctx.sig.iter().enumerate() {
+        if tok.kind != TokKind::Ident || ctx.in_test(i) {
+            continue;
+        }
+        if let Some((name, class)) = BANNED.iter().find(|(n, _)| tok.is_ident(n)) {
+            findings.push(ctx.finding(
+                "determinism",
+                tok.line,
+                format!("{class} hazard `{name}` in deterministic crate `{}`", ctx.krate),
+            ));
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! The rule passes and the token-walking infrastructure they share.
+//!
+//! Every rule consumes a [`FileCtx`]: the file's *significant* token
+//! stream (trivia stripped), a parallel per-token test mask, and the
+//! policy flags from [`crate::scan`]. Rules emit [`Finding`]s (which the
+//! waiver pass in [`crate::waiver`] may later mark waived) and — for the
+//! audit-style rules — [`WaiverRecord`]s documenting sites that are
+//! allowed *with a justification* (an `.expect("reason")` message, a
+//! justified `#[allow]`, an inline `// lint: allow(rule, "why")`).
+
+pub mod allows;
+pub mod casts;
+pub mod determinism;
+pub mod net;
+pub mod unwrap;
+
+use crate::lexer::{Tok, TokKind};
+
+/// Stable rule identifiers, exactly the keys of `results/lint.json`.
+pub const RULES: [&str; 7] = [
+    "determinism",
+    "net_flush_discipline",
+    "net_double_lock",
+    "unwrap_audit",
+    "cast_truncation",
+    "allow_audit",
+    "lex_error",
+];
+
+/// Crates whose traces must be bit-identical across hosts: wall-clock,
+/// ambient RNG, and hash-ordered containers are banned here. `net` and
+/// `bench` are policy-exempt (real sockets and benchmarks need clocks).
+pub const DETERMINISTIC_CRATES: [&str; 9] =
+    ["id", "graph", "sim", "core", "chord", "topology", "routing", "placement", "workload"];
+
+/// One diagnostic: a rule firing at a `file:line`.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Which rule fired (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Root-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human message (stable wording — the fixture goldens pin it).
+    pub message: String,
+    /// Set by the waiver pass when a justified waiver covers this line.
+    pub waived: bool,
+    /// The waiver's justification, when waived.
+    pub justification: Option<String>,
+}
+
+impl Finding {
+    fn new(rule: &'static str, file: &str, line: u32, message: String) -> Self {
+        Finding { rule, file: file.to_string(), line, message, waived: false, justification: None }
+    }
+}
+
+/// How a waiver was expressed in source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaiverKind {
+    /// `// lint: allow(rule, "justification")`.
+    Inline,
+    /// `#[allow(…)]` with a same-line or line-above comment.
+    AllowAttr,
+    /// `.expect("message")` — the message is the justification.
+    ExpectMessage,
+}
+
+/// One justified-exception record: every waiver in the tree is counted
+/// in the report, used or not.
+#[derive(Clone, Debug)]
+pub struct WaiverRecord {
+    /// The rule the waiver addresses.
+    pub rule: String,
+    /// Root-relative file path.
+    pub file: String,
+    /// 1-based line of the waiver itself.
+    pub line: u32,
+    /// The justification text (always present — unjustified waivers are
+    /// `allow_audit` findings, not records).
+    pub justification: String,
+    /// Waiver syntax used.
+    pub kind: WaiverKind,
+    /// Did this waiver actually suppress a finding?
+    pub used: bool,
+}
+
+/// Everything a rule pass needs to know about one file.
+pub struct FileCtx<'a> {
+    /// Root-relative path (diagnostic prefix).
+    pub rel: &'a str,
+    /// Policy crate name.
+    pub krate: &'a str,
+    /// Binary target (`src/bin/*`, `main.rs`).
+    pub is_bin: bool,
+    /// Module declared `#[cfg(test)]` by its crate.
+    pub is_test_file: bool,
+    /// The full token stream, trivia included (comment-adjacent rules
+    /// and the waiver pass need it).
+    pub all: &'a [Tok],
+    /// Significant tokens (whitespace and comments stripped).
+    pub sig: Vec<&'a Tok>,
+    /// Parallel to `sig`: token lies inside a `#[cfg(test)]` / `#[test]`
+    /// item span.
+    pub test: Vec<bool>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Builds the context from a full token stream.
+    pub fn new(
+        rel: &'a str,
+        krate: &'a str,
+        is_bin: bool,
+        is_test_file: bool,
+        toks: &'a [Tok],
+    ) -> Self {
+        let sig: Vec<&Tok> = toks.iter().filter(|t| !t.is_trivia()).collect();
+        let test = test_mask(&sig);
+        FileCtx { rel, krate, is_bin, is_test_file, all: toks, sig, test }
+    }
+
+    /// Is the token at `i` in test code (an in-file test span, or the
+    /// whole file being a test module)?
+    pub fn in_test(&self, i: usize) -> bool {
+        self.is_test_file || self.test.get(i).copied().unwrap_or(false)
+    }
+
+    fn finding(&self, rule: &'static str, line: u32, message: String) -> Finding {
+        Finding::new(rule, self.rel, line, message)
+    }
+}
+
+/// Runs every rule pass over one file.
+pub fn run_all(ctx: &FileCtx<'_>) -> (Vec<Finding>, Vec<WaiverRecord>) {
+    let mut findings = Vec::new();
+    let mut waivers = Vec::new();
+    determinism::run(ctx, &mut findings);
+    net::run(ctx, &mut findings);
+    unwrap::run(ctx, &mut findings, &mut waivers);
+    casts::run(ctx, &mut findings);
+    allows::run(ctx, &mut findings, &mut waivers);
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    (findings, waivers)
+}
+
+// ---------------------------------------------------------------------------
+// Shared token-walking helpers
+// ---------------------------------------------------------------------------
+
+/// Index one past the bracket matching the opener at `open` (`sig[open]`
+/// must be `(`, `[`, or `{`). All three bracket kinds are tracked
+/// together, so mismatched source simply runs to the end of the stream.
+pub fn matching_close(sig: &[&Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < sig.len() {
+        match sig[i].kind {
+            TokKind::Punct('(' | '[' | '{') => depth += 1,
+            TokKind::Punct(')' | ']' | '}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    sig.len()
+}
+
+/// The module-level `#[cfg(test)] mod <name>;` declarations in a token
+/// stream — the names feed [`crate::scan`]'s test-file classification.
+pub fn cfg_test_mod_decls(sig: &[&Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (start, span_end, _inner) in attr_spans(sig) {
+        if !attr_is_test(sig, start, span_end) {
+            continue;
+        }
+        // A run of attributes may precede the item; skip sibling attrs.
+        let mut i = span_end;
+        while i < sig.len() && sig[i].is_punct('#') {
+            let bracket = if i + 1 < sig.len() && sig[i + 1].is_punct('!') { i + 2 } else { i + 1 };
+            if bracket < sig.len() && sig[bracket].is_punct('[') {
+                i = matching_close(sig, bracket);
+            } else {
+                break;
+            }
+        }
+        if i + 2 < sig.len()
+            && sig[i].is_ident("mod")
+            && sig[i + 1].kind == TokKind::Ident
+            && sig[i + 2].is_punct(';')
+        {
+            out.push(sig[i + 1].ident_name().to_string());
+        }
+    }
+    out
+}
+
+/// Marks every token belonging to a `#[cfg(test)]`- or `#[test]`-gated
+/// item. The item after such an attribute (skipping sibling attributes
+/// and qualifiers) ends at the first top-level `;`, or at the brace
+/// matching the first `{` — which uniformly covers `mod t { … }`,
+/// `fn f() { … }`, `use x;`, and `impl T { … }`.
+pub fn test_mask(sig: &[&Tok]) -> Vec<bool> {
+    let mut mask = vec![false; sig.len()];
+    for (start, span_end, inner) in attr_spans(sig) {
+        if !attr_is_test(sig, start, span_end) {
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the enclosing scope is test code; at file
+            // level that is the whole file.
+            for m in mask.iter_mut() {
+                *m = true;
+            }
+            return mask;
+        }
+        let mut i = span_end;
+        let mut depth = 0i32;
+        let item_end = loop {
+            if i >= sig.len() {
+                break sig.len();
+            }
+            match sig[i].kind {
+                TokKind::Punct('{') => break matching_close(sig, i),
+                TokKind::Punct('(' | '[') => depth += 1,
+                TokKind::Punct(')' | ']') => depth -= 1,
+                TokKind::Punct(';') if depth == 0 => break i + 1,
+                _ => {}
+            }
+            i += 1;
+        };
+        for m in mask.iter_mut().take(item_end).skip(start) {
+            *m = true;
+        }
+    }
+    mask
+}
+
+/// Yields `(start, end, inner)` for every attribute in the stream:
+/// `start` indexes the `#`, `end` is one past the closing `]`, `inner`
+/// marks `#![…]` attributes.
+pub fn attr_spans(sig: &[&Tok]) -> Vec<(usize, usize, bool)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if sig[i].is_punct('#') {
+            let inner = i + 1 < sig.len() && sig[i + 1].is_punct('!');
+            let bracket = if inner { i + 2 } else { i + 1 };
+            if bracket < sig.len() && sig[bracket].is_punct('[') {
+                let end = matching_close(sig, bracket);
+                out.push((i, end, inner));
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Does the attribute span contain a *positive* `test` condition —
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]` — as opposed to
+/// `#[cfg(not(test))]`?
+fn attr_is_test(sig: &[&Tok], start: usize, end: usize) -> bool {
+    for i in start..end {
+        if sig[i].is_ident("test") {
+            let negated = i >= 2 && sig[i - 1].is_punct('(') && sig[i - 2].is_ident("not");
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// One `fn` item with a body: name plus the body's token range
+/// (exclusive of the braces).
+pub struct FnBody {
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// First body token index.
+    pub body_start: usize,
+    /// One past the last body token index.
+    pub body_end: usize,
+}
+
+/// Iterates every `fn` with a body (trait-method declarations without
+/// bodies and `fn`-pointer types are skipped). Nested functions are
+/// reported separately *and* covered by their enclosing body — fine for
+/// scans that only need "somewhere in this function".
+pub fn fn_bodies(sig: &[&Tok]) -> Vec<FnBody> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if sig[i].is_ident("fn") && i + 1 < sig.len() && sig[i + 1].kind == TokKind::Ident {
+            let name = sig[i + 1].ident_name().to_string();
+            let line = sig[i].line;
+            // Find the parameter list, then the body brace or the `;` of
+            // a bodiless declaration.
+            let mut j = i + 2;
+            while j < sig.len() && !sig[j].is_punct('(') {
+                j += 1;
+            }
+            let after_params = matching_close(sig, j);
+            let mut k = after_params;
+            let mut depth = 0i32;
+            while k < sig.len() {
+                match sig[k].kind {
+                    TokKind::Punct('{') if depth == 0 => break,
+                    TokKind::Punct(';') if depth == 0 => break,
+                    TokKind::Punct('(' | '[') => depth += 1,
+                    TokKind::Punct(')' | ']') => depth -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if k < sig.len() && sig[k].is_punct('{') {
+                let close = matching_close(sig, k);
+                out.push(FnBody { name, line, body_start: k + 1, body_end: close - 1 });
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}

@@ -1,0 +1,201 @@
+//! Rules `net_flush_discipline` and `net_double_lock`: the transport
+//! crate's concurrency conventions, machine-checked.
+//!
+//! Both rules scan function bodies in `crates/net` (test spans exempt):
+//!
+//! * **flush-before-blocking-recv** — a function that corks frames
+//!   ([`send_corked`]) and then blocks on `recv`/`recv_timeout` must
+//!   `flush`/`flush_all` in between, or the request it is waiting for an
+//!   answer to may still be sitting in the local cork buffer (the
+//!   deadlock class PR 9's pipelining introduced, previously held off by
+//!   convention alone). `recv(None)` is a non-blocking poll and is
+//!   exempt.
+//! * **double lock** — no function may hold two Mutex guards at once
+//!   (an acquired-set scan over the body): the per-peer writer locks and
+//!   the registry lock are acquired from both the sender path and the
+//!   accept thread, so overlapping holds are a lock-order inversion away
+//!   from deadlock. Statement-temporary guards (`m.lock()?.field`)
+//!   release at the end of their statement; `let`-bound guards are held
+//!   until `drop(guard)` or the end of their block.
+//!
+//! Acquisition sites recognized: `.lock()` method calls and the crate's
+//! `lock_or_poison(…)` / `lock_or_recover(…)` helpers.
+//!
+//! [`send_corked`]: ../../rechord_net/transport/trait.Transport.html#method.send_corked
+
+use super::{matching_close, FileCtx, Finding, FnBody};
+use crate::lexer::TokKind;
+
+/// Runs both net-discipline scans over one file.
+pub fn run(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if ctx.krate != "net" {
+        return;
+    }
+    for f in super::fn_bodies(&ctx.sig) {
+        if ctx.in_test(f.body_start.saturating_sub(1)) || ctx.is_test_file {
+            continue;
+        }
+        scan_flush_discipline(ctx, &f, findings);
+        scan_double_lock(ctx, &f, findings);
+    }
+}
+
+/// Is `sig[i]` the name token of a call `name(…)`?
+fn is_call(ctx: &FileCtx<'_>, i: usize, name: &str) -> bool {
+    ctx.sig[i].is_ident(name) && ctx.sig.get(i + 1).is_some_and(|t| t.is_punct('('))
+}
+
+fn scan_flush_discipline(ctx: &FileCtx<'_>, f: &FnBody, findings: &mut Vec<Finding>) {
+    let mut corked = false; // a send_corked with no flush after it
+    for i in f.body_start..f.body_end {
+        if is_call(ctx, i, "send_corked") {
+            corked = true;
+        } else if is_call(ctx, i, "flush") || is_call(ctx, i, "flush_all") {
+            corked = false;
+        } else if is_call(ctx, i, "recv") || is_call(ctx, i, "recv_timeout") {
+            // `recv(None)` is the non-blocking poll; everything else
+            // (a deadline, or no argument at all on a raw channel) blocks.
+            let blocking = !(ctx.sig[i].is_ident("recv")
+                && ctx.sig.get(i + 2).is_some_and(|t| t.is_ident("None")));
+            if blocking && corked {
+                findings.push(ctx.finding(
+                    "net_flush_discipline",
+                    ctx.sig[i].line,
+                    format!(
+                        "blocking `{}` in `{}` after `send_corked` without an intervening \
+                         `flush` (corked frames may never reach the wire)",
+                        ctx.sig[i].ident_name(),
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// One recognized guard acquisition: the token range it covers and
+/// whether the guard outlives its statement (terminal `let` binding).
+struct Acquisition {
+    end: usize,
+    terminal: bool,
+}
+
+/// Recognizes an acquisition starting at `i`: `.lock()` or a
+/// `lock_or_poison(…)`/`lock_or_recover(…)` call. Returns its extent and
+/// whether the resulting guard is statement-terminal (only a
+/// `?`/`.unwrap()`/`.expect(…)` chain and then `;` follow, i.e. a `let`
+/// binds the guard itself rather than something derived from it).
+fn acquisition_at(ctx: &FileCtx<'_>, i: usize) -> Option<Acquisition> {
+    let after = if ctx.sig[i].is_punct('.')
+        && ctx.sig.get(i + 1).is_some_and(|t| t.is_ident("lock"))
+        && ctx.sig.get(i + 2).is_some_and(|t| t.is_punct('('))
+        && ctx.sig.get(i + 3).is_some_and(|t| t.is_punct(')'))
+    {
+        i + 4
+    } else if is_call(ctx, i, "lock_or_poison") || is_call(ctx, i, "lock_or_recover") {
+        matching_close(&ctx.sig, i + 1)
+    } else {
+        return None;
+    };
+    // Walk the error-handling chain the guard may be threaded through.
+    let mut j = after;
+    loop {
+        if ctx.sig.get(j).is_some_and(|t| t.is_punct('?')) {
+            j += 1;
+        } else if ctx.sig.get(j).is_some_and(|t| t.is_punct('.'))
+            && ctx.sig.get(j + 1).is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+            && ctx.sig.get(j + 2).is_some_and(|t| t.is_punct('('))
+        {
+            j = matching_close(&ctx.sig, j + 2);
+        } else {
+            break;
+        }
+    }
+    let terminal = ctx.sig.get(j).is_some_and(|t| t.is_punct(';'));
+    Some(Acquisition { end: after, terminal })
+}
+
+fn scan_double_lock(ctx: &FileCtx<'_>, f: &FnBody, findings: &mut Vec<Finding>) {
+    let mut depth = 0u32;
+    let mut held: Vec<(String, u32)> = Vec::new();
+    let mut stmt_acquisitions = 0usize;
+    let mut pending_let: Option<String> = None;
+    let mut i = f.body_start;
+    while i < f.body_end {
+        let tok = ctx.sig[i];
+        match tok.kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                stmt_acquisitions = 0;
+            }
+            TokKind::Punct('}') => {
+                held.retain(|(_, d)| *d < depth);
+                depth = depth.saturating_sub(1);
+                stmt_acquisitions = 0;
+            }
+            TokKind::Punct(';') => {
+                stmt_acquisitions = 0;
+                pending_let = None;
+            }
+            TokKind::Ident if tok.is_ident("let") => {
+                pending_let = binding_name(ctx, i + 1, f.body_end);
+            }
+            TokKind::Ident
+                if tok.is_ident("drop") && ctx.sig.get(i + 1).is_some_and(|t| t.is_punct('(')) =>
+            {
+                if let Some(name) = ctx.sig.get(i + 2).map(|t| t.ident_name().to_string()) {
+                    held.retain(|(n, _)| *n != name);
+                }
+            }
+            _ => {}
+        }
+        if let Some(acq) = acquisition_at(ctx, i) {
+            if stmt_acquisitions >= 1 || !held.is_empty() {
+                let first = held.first().map(|(n, _)| n.as_str()).unwrap_or("a temporary guard");
+                findings.push(ctx.finding(
+                    "net_double_lock",
+                    tok.line,
+                    format!(
+                        "second Mutex guard acquired in `{}` while `{first}` is still held \
+                         (no function may hold two writer locks)",
+                        f.name
+                    ),
+                ));
+            }
+            stmt_acquisitions += 1;
+            if acq.terminal {
+                if let Some(name) = pending_let.take() {
+                    held.push((name, depth));
+                }
+            }
+            i = acq.end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// The name a `let` statement binds: the first plain identifier of the
+/// pattern (skipping `mut`/`ref` and destructuring constructors), up to
+/// the `:` of a type annotation or the `=` of the initializer.
+fn binding_name(ctx: &FileCtx<'_>, from: usize, limit: usize) -> Option<String> {
+    let mut depth = 0i32;
+    for j in from..limit {
+        let t = ctx.sig[j];
+        match t.kind {
+            TokKind::Punct('(' | '[' | '<') => depth += 1,
+            TokKind::Punct(')' | ']' | '>') => depth -= 1,
+            TokKind::Punct(':' | '=') if depth == 0 => return None,
+            TokKind::Ident => {
+                let name = t.ident_name();
+                let skip = matches!(name, "mut" | "ref" | "box")
+                    || name.chars().next().is_some_and(char::is_uppercase);
+                if !skip {
+                    return Some(name.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}

@@ -1,0 +1,80 @@
+//! Rule `unwrap_audit`: panics in library code must be accounted for.
+//!
+//! In library (non-test, non-binary) code, a bare `.unwrap()` is a
+//! finding: it encodes "this cannot fail" without saying why, and when
+//! the invariant breaks it takes the whole actor thread down with a
+//! context-free panic. The audit's contract:
+//!
+//! * `.unwrap()` → finding (fix it, or waive with
+//!   `// lint: allow(unwrap_audit, "why")`);
+//! * `.expect("reason")` → recorded as a **waiver** whose justification
+//!   is the message itself — the reason string is exactly the written
+//!   justification this audit demands, and it is counted in the report;
+//! * `.expect(…)` with anything but a non-empty string literal →
+//!   finding (the justification must be readable at the call site).
+//!
+//! Binaries are exempt (`main` may panic on broken invariants); test
+//! code is exempt (a failing test *should* panic).
+
+use super::{matching_close, FileCtx, Finding, WaiverKind, WaiverRecord};
+use crate::lexer::TokKind;
+
+/// Runs the audit over one file.
+pub fn run(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>, waivers: &mut Vec<WaiverRecord>) {
+    if ctx.is_bin || ctx.is_test_file {
+        return;
+    }
+    for i in 0..ctx.sig.len() {
+        if ctx.in_test(i) || !ctx.sig[i].is_punct('.') {
+            continue;
+        }
+        let Some(name_tok) = ctx.sig.get(i + 1) else { continue };
+        if !ctx.sig.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        if name_tok.is_ident("unwrap") {
+            if ctx.sig.get(i + 3).is_some_and(|t| t.is_punct(')')) {
+                findings.push(
+                    ctx.finding(
+                        "unwrap_audit",
+                        name_tok.line,
+                        "bare `.unwrap()` in library code (return an error, use \
+                     `.expect(\"why this cannot fail\")`, or waive)"
+                            .to_string(),
+                    ),
+                );
+            }
+        } else if name_tok.is_ident("expect") {
+            let arg = ctx.sig.get(i + 3);
+            let is_literal_msg = arg.is_some_and(|t| t.kind == TokKind::Str && t.text.len() > 2)
+                && ctx.sig.get(i + 4).is_some_and(|t| t.is_punct(')'));
+            if is_literal_msg {
+                let text = &ctx.sig[i + 3].text;
+                waivers.push(WaiverRecord {
+                    rule: "unwrap_audit".to_string(),
+                    file: ctx.rel.to_string(),
+                    line: name_tok.line,
+                    justification: text[1..text.len() - 1].to_string(),
+                    kind: WaiverKind::ExpectMessage,
+                    used: true,
+                });
+            } else {
+                // Don't fire on `.expect(…)` method calls that aren't the
+                // Option/Result one if the argument closes immediately —
+                // there is no way to tell them apart at token level, so
+                // the rule stays conservative and demands a message.
+                let end = matching_close(&ctx.sig, i + 2);
+                let empty = end == i + 4; // `.expect()`
+                let what = if empty { "empty" } else { "non-literal" };
+                findings.push(ctx.finding(
+                    "unwrap_audit",
+                    name_tok.line,
+                    format!(
+                        "`.expect(…)` with a {what} message in library code (the justification \
+                         must be a readable string literal at the call site)"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Workspace discovery: which files get linted, and under which policy.
+//!
+//! The scan covers every member crate's `src/` tree plus the facade
+//! package's `src/` at the workspace root. `vendor/` (third-party shims),
+//! `target/`, bench `benches/`, integration `tests/` directories, and
+//! example files are out of scope: the lint gate protects the library
+//! code the reproduction's determinism claims rest on.
+//!
+//! Each file is classified with the three flags the rules key off:
+//!
+//! * **crate** — the policy name (`sim`, `net`, …; `rechord` for the
+//!   facade), which selects the determinism and net-discipline scopes;
+//! * **binary** — `src/bin/*` and `main.rs` targets (exempt from the
+//!   unwrap audit: a binary's `main` may panic on broken invariants);
+//! * **test file** — a module file declared somewhere in its crate as
+//!   `#[cfg(test)] mod name;` (e.g. the `proptests.rs` convention used
+//!   throughout this workspace). In-file `#[cfg(test)]` *spans* are
+//!   handled separately, per token, by [`crate::rules::test_mask`].
+
+use crate::lexer::{lex, Tok};
+use crate::rules;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One file queued for linting, with policy classification and source.
+pub struct SourceFile {
+    /// Root-relative path with forward slashes (diagnostic prefix).
+    pub rel: String,
+    /// Policy crate name (`sim`, `net`, `bench`, `rechord`, …).
+    pub krate: String,
+    /// Is this a binary target (`src/bin/*` or a `main.rs`)?
+    pub is_bin: bool,
+    /// Was this module declared under `#[cfg(test)]` by its crate?
+    pub is_test_file: bool,
+    /// Full source text.
+    pub text: String,
+}
+
+/// Collects and classifies every in-scope `.rs` file under `root`.
+/// Paths are sorted, so findings and reports are byte-stable run to run.
+pub fn collect_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut units: Vec<(String, PathBuf)> = Vec::new(); // (crate, src dir)
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            let name = member.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+            let src = member.join("src");
+            if !name.is_empty() && src.is_dir() {
+                units.push((name, src));
+            }
+        }
+    }
+    let facade_src = root.join("src");
+    if facade_src.is_dir() {
+        units.push(("rechord".to_string(), facade_src));
+    }
+
+    let mut files = Vec::new();
+    for (krate, src) in units {
+        let mut paths = Vec::new();
+        walk_rs(&src, &mut paths)?;
+        paths.sort();
+        // Pass 1: which module stems does this crate declare as
+        // `#[cfg(test)] mod <name>;`?
+        let mut test_mods: Vec<String> = Vec::new();
+        let mut loaded = Vec::new();
+        for path in paths {
+            let text = std::fs::read_to_string(&path)?;
+            if let Ok(toks) = lex(&text) {
+                let sig: Vec<&Tok> = toks.iter().filter(|t| !t.is_trivia()).collect();
+                test_mods.extend(rules::cfg_test_mod_decls(&sig));
+            }
+            loaded.push((path, text));
+        }
+        // Pass 2: classify and emit.
+        for (path, text) in loaded {
+            let rel = rel_path(root, &path);
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or_default().to_string();
+            let is_bin = rel.contains("/bin/") || stem == "main";
+            let is_test_file = test_mods.contains(&stem)
+                || path
+                    .parent()
+                    .and_then(|p| p.file_name())
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|dir| test_mods.iter().any(|m| m == dir) && stem == "mod");
+            files.push(SourceFile { rel, krate: krate.clone(), is_bin, is_test_file, text });
+        }
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative display path with forward slashes.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_paths_use_forward_slashes() {
+        let root = Path::new("/w");
+        assert_eq!(rel_path(root, Path::new("/w/crates/sim/src/lib.rs")), "crates/sim/src/lib.rs");
+    }
+}

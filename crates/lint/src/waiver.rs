@@ -1,0 +1,92 @@
+//! Inline waivers: `// lint: allow(rule, "justification")`.
+//!
+//! A waiver suppresses findings of the named rule on its own line (the
+//! trailing-comment form) or on the line directly below it (the
+//! own-line form). Only *justified* waivers suppress anything — a
+//! waiver without its justification string is an `allow_audit` finding
+//! and has no effect, so forgetting the why can never silently pass the
+//! gate. Every justified waiver is recorded in the report whether it
+//! suppressed a finding or not.
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::{Finding, WaiverKind, WaiverRecord};
+
+/// One parsed inline waiver.
+#[derive(Clone, Debug)]
+pub struct InlineWaiver {
+    /// The rule name inside `allow(…)`.
+    pub rule: String,
+    /// Line of the comment.
+    pub line: u32,
+    /// The quoted justification, when present.
+    pub justification: Option<String>,
+}
+
+/// Extracts every `lint: allow(…)` waiver from a token stream's comments.
+pub fn parse_comments(toks: &[Tok]) -> Vec<InlineWaiver> {
+    let mut out = Vec::new();
+    for t in toks {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        // Doc comments are documentation, not waivers: rustdoc prose that
+        // quotes the waiver syntax must not itself parse as a waiver.
+        if t.text.starts_with("///") || t.text.starts_with("//!") {
+            continue;
+        }
+        if t.text.starts_with("/**") || t.text.starts_with("/*!") {
+            continue;
+        }
+        let mut rest = t.text.as_str();
+        while let Some(at) = rest.find("lint: allow(") {
+            rest = &rest[at + "lint: allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let inside = &rest[..close];
+            rest = &rest[close + 1..];
+            let (rule, justification) = match inside.split_once(',') {
+                Some((r, j)) => {
+                    let j = j.trim();
+                    let quoted = j.len() >= 2 && j.starts_with('"') && j.ends_with('"');
+                    let text = if quoted { j[1..j.len() - 1].trim() } else { "" };
+                    (r.trim(), (!text.is_empty()).then(|| text.to_string()))
+                }
+                None => (inside.trim(), None),
+            };
+            out.push(InlineWaiver { rule: rule.to_string(), line: t.line, justification });
+        }
+    }
+    out
+}
+
+/// Applies the file's justified waivers to its findings, in place, and
+/// returns the waiver records (with `used` reflecting whether each one
+/// suppressed at least one finding).
+pub fn apply(toks: &[Tok], file: &str, findings: &mut [Finding]) -> Vec<WaiverRecord> {
+    let waivers = parse_comments(toks);
+    let mut records = Vec::new();
+    for w in &waivers {
+        let Some(justification) = &w.justification else { continue };
+        // Unknown-rule waivers are `allow_audit` findings, not records.
+        if !crate::rules::RULES.contains(&w.rule.as_str()) {
+            continue;
+        }
+        let mut used = false;
+        for f in findings.iter_mut() {
+            let covered = f.line == w.line || f.line == w.line + 1;
+            if !f.waived && f.rule == w.rule && covered {
+                f.waived = true;
+                f.justification = Some(justification.clone());
+                used = true;
+            }
+        }
+        records.push(WaiverRecord {
+            rule: w.rule.clone(),
+            file: file.to_string(),
+            line: w.line,
+            justification: justification.clone(),
+            kind: WaiverKind::Inline,
+            used,
+        });
+    }
+    records
+}

@@ -1,0 +1,13 @@
+//! The fixture corpus is the linter's own regression gate: every rule
+//! must fire on the known-bad files, stay quiet on the known-good ones,
+//! and match the `.expected` goldens byte for byte. `ci.sh` runs the
+//! same check via `rechord-lint --fixtures-self-test` before trusting
+//! the tree-wide lint.
+
+#[test]
+fn fixtures_match_goldens_and_cover_every_rule() {
+    let root = rechord_lint::fixtures::default_root();
+    if let Err(report) = rechord_lint::fixtures::self_test(&root) {
+        panic!("{report}");
+    }
+}

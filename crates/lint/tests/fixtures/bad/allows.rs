@@ -1,0 +1,11 @@
+//@ crate: sim
+//! Suppressions without a written why.
+
+#[allow(dead_code)]
+pub fn unjustified() {}
+
+// lint: allow(determinism)
+pub fn missing_reason() {}
+
+// lint: allow(made_up_rule, "sounded plausible")
+pub fn unknown_rule() {}

@@ -1,0 +1,14 @@
+//@ crate: chord
+//! Ring math narrowed without a reduction.
+
+pub fn bucket_of(ident: u64, n: usize) -> usize {
+    (ident as usize) % n
+}
+
+pub fn reduced_is_fine(key: u64, n: usize) -> usize {
+    (key % n as u64) as usize
+}
+
+pub fn lengths_are_fine(v: &[u64]) -> u32 {
+    v.len() as u32
+}

@@ -1,0 +1,25 @@
+//@ crate: sim
+//! Deterministic crate reaching for wall-clock and hash-ordered state.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn tick(events: &[u64]) -> usize {
+    let started = Instant::now();
+    let mut seen: HashMap<u64, u64> = HashMap::new();
+    for e in events {
+        *seen.entry(*e).or_insert(0) += 1;
+    }
+    let _ = started;
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::SystemTime;
+
+    #[test]
+    fn clocks_are_fine_in_tests() {
+        let _ = SystemTime::now();
+    }
+}

@@ -1,0 +1,4 @@
+//@ crate: sim
+//! The lexer must reject this file: the block comment never closes.
+
+pub fn broken() {} /* nested /* and unterminated

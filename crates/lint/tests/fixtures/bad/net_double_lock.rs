@@ -1,0 +1,16 @@
+//@ crate: net
+//! Two writer guards held at once.
+
+pub fn drain_both(a: &Mutex<Vec<u8>>, b: &Mutex<Vec<u8>>) -> Result<usize, NetError> {
+    let first = lock_or_poison(a, "first queue")?;
+    let second = lock_or_poison(b, "second queue")?;
+    Ok(first.len() + second.len())
+}
+
+pub fn sequential_is_fine(a: &Mutex<Vec<u8>>, b: &Mutex<Vec<u8>>) -> Result<usize, NetError> {
+    let first = lock_or_poison(a, "first queue")?;
+    let n = first.len();
+    drop(first);
+    let second = lock_or_poison(b, "second queue")?;
+    Ok(n + second.len())
+}

@@ -1,0 +1,19 @@
+//@ crate: net
+//! A corked RPC that blocks without flushing.
+
+pub fn ask(t: &mut dyn Transport, to: Ident, msg: NetMsg) -> Result<(Ident, NetMsg), NetError> {
+    t.send_corked(to, msg)?;
+    t.recv(Some(Duration::from_secs(1)))
+}
+
+pub fn flushed(t: &mut dyn Transport, to: Ident, msg: NetMsg) -> Result<(Ident, NetMsg), NetError> {
+    t.send_corked(to, msg)?;
+    t.flush(to)?;
+    t.recv(Some(Duration::from_secs(1)))
+}
+
+pub fn poll_is_fine(t: &mut dyn Transport, to: Ident, msg: NetMsg) -> Result<(), NetError> {
+    t.send_corked(to, msg)?;
+    let _ = t.recv(None);
+    Ok(())
+}

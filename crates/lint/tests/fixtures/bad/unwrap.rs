@@ -1,0 +1,14 @@
+//@ crate: workload
+//! Panics without a written justification.
+
+pub fn head(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn relayed(v: &[u64], msg: &str) -> u64 {
+    *v.get(1).expect(msg)
+}
+
+pub fn documented(v: &[u64]) -> u64 {
+    *v.get(2).expect("caller guarantees at least three elements")
+}

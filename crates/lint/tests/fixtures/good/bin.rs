@@ -1,0 +1,9 @@
+//@ crate: bench
+//@ bin
+//! A binary target: `main` may panic on broken invariants.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: u64 = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(10);
+    println!("{}", n * 2);
+}

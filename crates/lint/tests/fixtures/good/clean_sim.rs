@@ -1,0 +1,42 @@
+//@ crate: sim
+//! The blessed patterns: ordered containers, reduced casts, justified
+//! suppressions, and literals that merely mention hazards.
+
+use std::collections::BTreeMap;
+
+/// Deterministic pick: reduce in u64, then narrow.
+pub fn pick(ids: &[u64], key: u64) -> Option<u64> {
+    if ids.is_empty() {
+        return None;
+    }
+    Some(ids[(key % ids.len() as u64) as usize])
+}
+
+/// Counts occurrences without hash-order iteration.
+pub fn histogram(events: &[u64]) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    let banner = "HashMap and Instant::now() are only words inside this string";
+    let _ = banner;
+    for e in events {
+        *out.entry(*e).or_insert(0) += 1;
+    }
+    out
+}
+
+// Indexing both slices keeps the bounds check in one place.
+#[allow(clippy::needless_range_loop)]
+pub fn dot(a: &[u64], b: &[u64]) -> u64 {
+    let mut acc = 0;
+    for i in 0..a.len().min(b.len()) {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pick_reduces() {
+        assert_eq!(super::pick(&[7], u64::MAX).unwrap(), 7);
+    }
+}

@@ -1,0 +1,27 @@
+//@ crate: net
+//! Cork, flush, then block; guards strictly one at a time. The clock is
+//! fine here: `net` is policy-exempt from the determinism rule.
+
+use std::time::Instant;
+
+pub fn round_trip(t: &mut dyn Transport, to: Ident, msg: NetMsg) -> Result<(Ident, NetMsg), NetError> {
+    let started = Instant::now();
+    t.send_corked(to, msg)?;
+    t.flush_all()?;
+    let reply = t.recv(Some(Duration::from_millis(200)))?;
+    let _ = started.elapsed();
+    Ok(reply)
+}
+
+pub fn cork_and_poll(t: &mut dyn Transport, to: Ident, msg: NetMsg) -> Result<bool, NetError> {
+    t.send_corked(to, msg)?;
+    Ok(t.recv(None).is_ok())
+}
+
+pub fn handoff(a: &Mutex<Vec<u8>>, b: &Mutex<Vec<u8>>) -> Result<(), NetError> {
+    let first = lock_or_poison(a, "first queue")?;
+    drop(first);
+    let second = lock_or_poison(b, "second queue")?;
+    drop(second);
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//@ crate: core
+//@ test-file
+//! A `#[cfg(test)]`-declared module: panics and clocks are fair game.
+
+use std::time::Instant;
+
+#[test]
+fn timing_scratch() {
+    let t = Instant::now();
+    let v = vec![1u64];
+    assert_eq!(*v.first().unwrap(), 1);
+    let _ = t.elapsed();
+}

@@ -1,0 +1,17 @@
+//@ crate: sim
+//! A hazard consciously kept, with the why written down.
+
+// lint: allow(determinism, "scratch map is drained into a sorted Vec before anything iterates")
+use std::collections::HashMap;
+
+/// Collects, then sorts: iteration order never escapes.
+pub fn sorted_counts(events: &[u64]) -> Vec<(u64, u64)> {
+    // lint: allow(determinism, "drained into a sorted Vec below - order never observed")
+    let mut scratch: HashMap<u64, u64> = HashMap::new();
+    for e in events {
+        *scratch.entry(*e).or_insert(0) += 1;
+    }
+    let mut out: Vec<(u64, u64)> = scratch.into_iter().collect();
+    out.sort_unstable();
+    out
+}

@@ -129,7 +129,7 @@ impl<T: Transport> ClusterClient<T> {
     /// The entry peer for a request id — deterministic, uniform over the
     /// roster, identical across backends and the oracle replay.
     pub fn entry_peer(&self, rpc: u64) -> Ident {
-        self.roster[(mix(&[self.entry_seed, rpc]) as usize) % self.roster.len()]
+        self.roster[(mix(&[self.entry_seed, rpc]) % self.roster.len() as u64) as usize]
     }
 
     /// Polls every node with pings until all report `serving`, or the

@@ -15,6 +15,7 @@
 //! simulator's synchronous-send semantics, so lock-step replays see the
 //! exact same interleavings whether callers cork or not.
 
+use crate::lock::{lock_or_poison, lock_or_recover};
 use crate::message::NetMsg;
 use crate::transport::{NetError, PeerAddr, Transport};
 use rechord_id::Ident;
@@ -52,19 +53,19 @@ impl InMemFabric {
     /// actor must be registered before anyone can send to it; repeated
     /// registration keeps the existing queue.
     pub fn endpoint(&self, me: Ident) -> InMemTransport {
-        self.shared.inner.lock().expect("fabric lock").queues.entry(me).or_default();
+        lock_or_recover(&self.shared.inner).queues.entry(me).or_default();
         InMemTransport { me, shared: Arc::clone(&self.shared) }
     }
 
     /// Removes the actor and its pending messages (a crash or shutdown).
     pub fn disconnect(&self, me: Ident) {
-        self.shared.inner.lock().expect("fabric lock").queues.remove(&me);
+        lock_or_recover(&self.shared.inner).queues.remove(&me);
         self.shared.wake.notify_all();
     }
 
     /// Total messages currently queued across all actors.
     pub fn pending(&self) -> usize {
-        self.shared.inner.lock().expect("fabric lock").queues.values().map(|q| q.len()).sum()
+        lock_or_recover(&self.shared.inner).queues.values().map(|q| q.len()).sum()
     }
 }
 
@@ -82,7 +83,7 @@ impl Transport for InMemTransport {
     fn connect(&mut self, peer: Ident, _addr: &PeerAddr) -> Result<(), NetError> {
         // The fabric resolves by identifier; "connecting" just checks the
         // peer exists, mirroring a successful dial.
-        let inner = self.shared.inner.lock().expect("fabric lock");
+        let inner = lock_or_poison(&self.shared.inner, "fabric")?;
         if inner.queues.contains_key(&peer) {
             Ok(())
         } else {
@@ -91,7 +92,7 @@ impl Transport for InMemTransport {
     }
 
     fn send(&mut self, to: Ident, msg: NetMsg) -> Result<(), NetError> {
-        let mut inner = self.shared.inner.lock().expect("fabric lock");
+        let mut inner = lock_or_poison(&self.shared.inner, "fabric")?;
         match inner.queues.get_mut(&to) {
             Some(q) => {
                 q.push_back((self.me, msg));
@@ -105,7 +106,7 @@ impl Transport for InMemTransport {
 
     fn recv(&mut self, deadline: Option<Duration>) -> Result<(Ident, NetMsg), NetError> {
         let until = deadline.map(|d| Instant::now() + d);
-        let mut inner = self.shared.inner.lock().expect("fabric lock");
+        let mut inner = lock_or_poison(&self.shared.inner, "fabric")?;
         loop {
             match inner.queues.get_mut(&self.me) {
                 Some(q) => {
@@ -122,8 +123,11 @@ impl Transport for InMemTransport {
             if left.is_zero() {
                 return Err(NetError::Timeout);
             }
-            let (guard, _timed_out) =
-                self.shared.wake.wait_timeout(inner, left).expect("fabric lock");
+            let (guard, _timed_out) = self.shared.wake.wait_timeout(inner, left).map_err(|_| {
+                NetError::Io(
+                    "fabric mutex poisoned: a peer thread panicked while holding it".into(),
+                )
+            })?;
             inner = guard;
         }
     }

@@ -30,6 +30,7 @@
 pub mod client;
 pub mod cluster;
 pub mod inmem;
+pub mod lock;
 pub mod message;
 pub mod peer;
 pub mod sync;
@@ -40,6 +41,7 @@ pub mod wire;
 pub use client::{ClusterClient, RpcResult};
 pub use cluster::{stabilize_lockstep, ClusterConfig, LockstepReport, ThreadedCluster};
 pub use inmem::{InMemFabric, InMemTransport};
+pub use lock::{lock_or_poison, lock_or_recover};
 pub use message::{ForwardedRpc, NetMsg, RpcOp};
 pub use peer::{Control, NodeConfig, NodePeer, NodeReport};
 pub use sync::{NetRoundStats, RoundSync, StepOutcome, SyncError};

@@ -1,0 +1,64 @@
+//! Poison-safe mutex acquisition for the transport layer.
+//!
+//! `Mutex::lock` fails only when another thread panicked while holding
+//! the guard. Panicking *again* at every acquisition site (the
+//! `.expect("… lock")` idiom this module replaces) turns one crashed
+//! reader thread into a cascade that takes the whole node down. The
+//! transport's policy is graded instead:
+//!
+//! * fallible paths ([`lock_or_poison`]) surface the poison as a
+//!   [`NetError::Io`], so the RPC fails like any other I/O error and the
+//!   caller's retry/failover logic applies;
+//! * infallible accessors ([`lock_or_recover`]) take the data anyway —
+//!   the guarded structures here (queue maps, write buffers) are valid
+//!   after any partial mutation, at worst losing the crashed thread's
+//!   in-flight frame, which the wire protocol already tolerates.
+
+use crate::transport::NetError;
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks `m`, mapping a poisoned mutex to [`NetError::Io`] naming `what`
+/// (e.g. `"write map"`). Use on every fallible transport path.
+pub fn lock_or_poison<'a, T>(m: &'a Mutex<T>, what: &str) -> Result<MutexGuard<'a, T>, NetError> {
+    m.lock().map_err(|_| {
+        NetError::Io(format!("{what} mutex poisoned: a peer thread panicked while holding it"))
+    })
+}
+
+/// Locks `m`, recovering the guarded data even if the mutex is poisoned.
+/// Use only where the guarded structure is valid after any partial
+/// mutation and the caller's signature has no error channel.
+pub fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn poison(m: &Mutex<Vec<u8>>) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison it");
+        }));
+    }
+
+    #[test]
+    fn poison_maps_to_io_error() {
+        let m = Mutex::new(vec![1u8]);
+        assert!(lock_or_poison(&m, "test").is_ok());
+        poison(&m);
+        match lock_or_poison(&m, "write map") {
+            Err(NetError::Io(msg)) => assert!(msg.contains("write map")),
+            other => panic!("expected Io error, got {other:?}"),
+        };
+    }
+
+    #[test]
+    fn recover_yields_the_data_after_poison() {
+        let m = Mutex::new(vec![7u8]);
+        poison(&m);
+        assert_eq!(*lock_or_recover(&m), vec![7u8]);
+    }
+}

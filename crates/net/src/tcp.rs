@@ -31,6 +31,7 @@
 //! ([`TcpTransport::wire_errors`]) before dropping the connection, so a
 //! mis-speaking peer is observable instead of just "hung".
 
+use crate::lock::{lock_or_poison, lock_or_recover};
 use crate::message::NetMsg;
 use crate::transport::{NetError, PeerAddr, Transport};
 use crate::wire::{check_header, HEADER_LEN};
@@ -185,9 +186,7 @@ fn accept_conn(
     if let Ok(clone) = s.try_clone() {
         // First registered stream wins: if we also dialed this peer, the
         // existing entry keeps sends on one stream (FIFO per pair).
-        writes
-            .lock()
-            .expect("write map lock")
+        lock_or_recover(&writes)
             .entry(from)
             .or_insert_with(|| Arc::new(Mutex::new(ConnWriter::new(clone))));
     }
@@ -257,9 +256,7 @@ impl TcpTransport {
                     std::thread::spawn(move || reader_loop(peer, stream, tx, st));
                     // A fresh dial replaces any stale stream: the old one
                     // is the reason we are reconnecting.
-                    self.writes
-                        .lock()
-                        .expect("write map lock")
+                    lock_or_poison(&self.writes, "write map")?
                         .insert(peer, Arc::new(Mutex::new(ConnWriter::new(clone))));
                     self.dialed.insert(peer, addr);
                     return Ok(());
@@ -276,14 +273,14 @@ impl TcpTransport {
     /// The registered writer for `to`, if any. Holds the registry lock
     /// only for the lookup.
     fn writer_of(&self, to: Ident) -> Option<PeerWriter> {
-        self.writes.lock().expect("write map lock").get(&to).cloned()
+        lock_or_recover(&self.writes).get(&to).cloned()
     }
 
     /// Encodes `msg` onto the peer's cork buffer (flushing inline only
     /// past the size bound).
     fn enqueue(&self, to: Ident, msg: &NetMsg) -> Result<(), NetError> {
         match self.writer_of(to) {
-            Some(w) => w.lock().expect("conn writer lock").enqueue(msg).map_err(NetError::from),
+            Some(w) => lock_or_poison(&w, "conn writer")?.enqueue(msg).map_err(NetError::from),
             None => Err(NetError::Unreachable(to)),
         }
     }
@@ -293,7 +290,7 @@ impl TcpTransport {
     /// over the fresh stream.
     fn flush_peer(&mut self, to: Ident) -> Result<(), NetError> {
         let Some(w) = self.writer_of(to) else { return Err(NetError::Unreachable(to)) };
-        let flushed = w.lock().expect("conn writer lock").flush();
+        let flushed = lock_or_poison(&w, "conn writer")?.flush();
         match flushed {
             Ok(()) => Ok(()),
             Err(first) => {
@@ -302,11 +299,11 @@ impl TcpTransport {
                     return Err(NetError::Io(first.to_string()));
                 };
                 // The failed writer kept its unsent frames; carry them over.
-                let pending = std::mem::take(&mut w.lock().expect("conn writer lock").buf);
-                self.writes.lock().expect("write map lock").remove(&to);
+                let pending = std::mem::take(&mut lock_or_poison(&w, "conn writer")?.buf);
+                lock_or_poison(&self.writes, "write map")?.remove(&to);
                 self.dial(to, addr)?;
                 let w = self.writer_of(to).ok_or(NetError::Unreachable(to))?;
-                let mut fresh = w.lock().expect("conn writer lock");
+                let mut fresh = lock_or_poison(&w, "conn writer")?;
                 fresh.buf = pending;
                 fresh.flush().map_err(NetError::from)
             }
@@ -326,7 +323,7 @@ impl Transport for TcpTransport {
         // Keep an existing stream (first wins, FIFO per pair) but remember
         // the address so reconnect-on-send knows where to go.
         self.dialed.insert(peer, *addr);
-        if self.writes.lock().expect("write map lock").contains_key(&peer) {
+        if lock_or_poison(&self.writes, "write map")?.contains_key(&peer) {
             return Ok(());
         }
         self.dial(peer, *addr)
@@ -349,14 +346,14 @@ impl Transport for TcpTransport {
                 // stream: run one reconnect cycle, carry the unsent corked
                 // bytes over, and retry.
                 let Some(addr) = self.dialed.get(&to).copied() else { return Err(first) };
-                let pending = self
-                    .writer_of(to)
-                    .map(|w| std::mem::take(&mut w.lock().expect("conn writer lock").buf))
-                    .unwrap_or_default();
-                self.writes.lock().expect("write map lock").remove(&to);
+                let pending = match self.writer_of(to) {
+                    Some(w) => std::mem::take(&mut lock_or_poison(&w, "conn writer")?.buf),
+                    None => Vec::new(),
+                };
+                lock_or_poison(&self.writes, "write map")?.remove(&to);
                 self.dial(to, addr)?;
                 let w = self.writer_of(to).ok_or(NetError::Unreachable(to))?;
-                w.lock().expect("conn writer lock").buf = pending;
+                lock_or_poison(&w, "conn writer")?.buf = pending;
                 self.enqueue(to, &msg)?;
                 self.corked.insert(to);
                 Ok(())

@@ -583,7 +583,7 @@ impl TrafficSim {
         self.churn_applied += 1;
         // Deterministic but varying victim/contact selector, mirroring
         // `ReChordNetwork::run_churn_plan`.
-        let selector = k.wrapping_mul(0x9e37) ^ (self.cfg.seed as usize);
+        let selector = (k as u64).wrapping_mul(0x9e37) ^ self.cfg.seed;
         let applied = self.net.apply_event(&event, selector, self.cfg.seed.wrapping_add(k as u64));
         if let Some(peer) = applied {
             if self.repair_running {
